@@ -1,0 +1,67 @@
+// Figure 6: space of the correlated-F0 sketch versus relative error eps.
+//
+// Paper setup: 2M tuples; datasets Ethernet (packet trace; x-range ~0..2000)
+// plus Uniform / Zipf(1) / Zipf(2) with x widened to 0..1000000
+// (Section 5.2 explains the wider F0 domain); eps in [0.05, 0.3]; log-scale
+// y-axis. Expected shape: space decreases with eps (slower than the F2
+// sketch's) and the Ethernet dataset sits well below the others because its
+// small x-domain needs fewer sampler levels.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/core/correlated_f0.h"
+#include "src/stream/generators.h"
+
+namespace {
+
+using namespace castream;
+
+uint64_t RunOne(double eps, TupleGenerator& gen, uint64_t n,
+                uint64_t x_domain) {
+  CorrelatedF0Options opts;
+  opts.eps = eps;
+  opts.delta = 0.2;
+  opts.x_domain = x_domain;
+  opts.repetitions_override = 1;  // the paper's single-structure experiments
+  CorrelatedF0Sketch sketch(opts, /*seed=*/17);
+  for (uint64_t i = 0; i < n; ++i) {
+    Tuple t = gen.Next();
+    sketch.Insert(t.x, t.y);
+  }
+  return sketch.StoredTuplesEquivalent();
+}
+
+}  // namespace
+
+int main() {
+  using castream::bench::PrintHeader;
+  using castream::bench::Scaled;
+  PrintHeader("Figure 6",
+              "F0: sketch space (tuples) vs relative error eps; 2M-tuple "
+              "streams as in the paper");
+  const uint64_t n = Scaled(2000000);
+  std::printf("# stream size: %llu tuples per dataset\n",
+              static_cast<unsigned long long>(n));
+  std::printf("%-16s %-6s %-16s %-16s\n", "dataset", "eps", "sketch_tuples",
+              "baseline_tuples");
+
+  const double eps_grid[] = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
+  for (double eps : eps_grid) {
+    auto datasets = MakePaperDatasets(/*f0_domains=*/true, /*seed=*/19);
+    for (auto& gen : datasets) {
+      // The Ethernet trace's identifiers are packet sizes (~0..2000); the
+      // synthetic datasets use the paper's widened 0..1e6 domain.
+      const uint64_t x_domain = gen->name() == "Ethernet" ? 2047 : 1000000;
+      const uint64_t space = RunOne(eps, *gen, n, x_domain);
+      std::printf("%-16s %-6.2f %-16llu %-16llu\n",
+                  std::string(gen->name()).c_str(), eps,
+                  static_cast<unsigned long long>(space),
+                  static_cast<unsigned long long>(n));
+      std::fflush(stdout);
+    }
+  }
+  std::printf("# expected shape: decreasing in eps; Ethernet lowest "
+              "(small x-domain -> fewer levels)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 7: space of the correlated-F0 sketch versus stream size, eps = 0.1.
+//
+// Paper setup: n swept 1M..10M over Uniform / Zipf(1) / Zipf(2) (x-domain
+// 0..1e6); the claim is the same as Figures 3-5: sketch space hardly moves
+// once the level samples have filled.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/correlated_f0.h"
+#include "src/stream/generators.h"
+
+int main() {
+  using namespace castream;
+  using castream::bench::PrintHeader;
+  using castream::bench::Scaled;
+  PrintHeader("Figure 7",
+              "F0: sketch space (tuples) vs stream size n, eps = 0.1; paper "
+              "swept n over 1M..10M");
+
+  std::vector<uint64_t> checkpoints;
+  for (uint64_t frac = 1; frac <= 10; ++frac) {
+    checkpoints.push_back(Scaled(1000000 * frac));
+  }
+  const uint64_t n_total = checkpoints.back();
+
+  std::printf("%-16s %-10s %-16s\n", "dataset", "n", "sketch_tuples");
+  auto datasets = MakePaperDatasets(/*f0_domains=*/true, /*seed=*/23);
+  for (auto& gen : datasets) {
+    if (gen->name() == "Ethernet") continue;  // Fig. 7 plots the synthetic sets
+    CorrelatedF0Options opts;
+    opts.eps = 0.1;
+    opts.delta = 0.2;
+    opts.x_domain = 1000000;
+    opts.repetitions_override = 1;
+    CorrelatedF0Sketch sketch(opts, /*seed=*/29);
+    size_t next_checkpoint = 0;
+    for (uint64_t i = 1; i <= n_total; ++i) {
+      Tuple t = gen->Next();
+      sketch.Insert(t.x, t.y);
+      if (next_checkpoint < checkpoints.size() &&
+          i == checkpoints[next_checkpoint]) {
+        std::printf("%-16s %-10llu %-16llu\n",
+                    std::string(gen->name()).c_str(),
+                    static_cast<unsigned long long>(i),
+                    static_cast<unsigned long long>(
+                        sketch.StoredTuplesEquivalent()));
+        std::fflush(stdout);
+        ++next_checkpoint;
+      }
+    }
+  }
+  std::printf("# expected shape: flat — space independent of stream size\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared plumbing for the paper-figure benches: scale-factor handling,
+// dataset construction, and gnuplot-friendly table output.
+//
+// Every bench prints series in the shape of the corresponding paper figure.
+// Stream sizes default to a laptop/CI-friendly scale; set the environment
+// variable CASTREAM_BENCH_SCALE (a positive double) to multiply them — e.g.
+// CASTREAM_BENCH_SCALE=10 restores several figures to the paper's original
+// sizes. The claims under test (space vs eps shape, space flat in n) are
+// scale-free, which Figure 3-5/7 themselves demonstrate.
+#ifndef CASTREAM_BENCH_BENCH_UTIL_H_
+#define CASTREAM_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace castream::bench {
+
+/// \brief Multiplier from CASTREAM_BENCH_SCALE (default 1.0).
+inline double ScaleFactor() {
+  const char* env = std::getenv("CASTREAM_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+/// \brief n scaled and rounded to a whole number of tuples.
+inline uint64_t Scaled(uint64_t n) {
+  return static_cast<uint64_t>(static_cast<double>(n) * ScaleFactor());
+}
+
+/// \brief Prints the standard bench header naming the paper artifact.
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("# %s — %s\n", figure, description);
+  std::printf("# scale factor: %.2f (set CASTREAM_BENCH_SCALE to change)\n",
+              ScaleFactor());
+}
+
+}  // namespace castream::bench
+
+#endif  // CASTREAM_BENCH_BENCH_UTIL_H_

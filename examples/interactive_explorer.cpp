@@ -1,0 +1,131 @@
+// Interactive stream explorer: the query-time flexibility of correlated
+// aggregates as a downstream user would consume it.
+//
+// Ingests one of the paper's workloads, then reads simple commands from
+// stdin so an analyst can iterate cutoffs interactively — the "drill down"
+// loop of Section 1, driven by a person instead of a script:
+//
+//   f2 <c>        estimate F2 of {x : y <= c}          (correlated F2)
+//   f0 <c>        estimate distinct x with y <= c      (correlated F0)
+//   hot <c> <phi> heavy hitters within y <= c          (Section 3.3)
+//   quantile <q>  whole-stream y-quantile, q in [0,1]  (GK summary)
+//   stats         summary sizes
+//   quit
+//
+// Run with a dataset argument: uniform | zipf1 | zipf2 | ethernet
+// (default uniform). Commands may also be piped:
+//   echo "quantile 0.5\nf2 500000\nquit" | ./interactive_explorer zipf1
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/castream.h"
+
+int main(int argc, char** argv) {
+  using namespace castream;
+
+  // ---- Ingest -------------------------------------------------------------
+  const std::string dataset = argc > 1 ? argv[1] : "uniform";
+  constexpr uint64_t kYRange = 1000000;
+  std::unique_ptr<TupleGenerator> gen;
+  if (dataset == "zipf1") {
+    gen = std::make_unique<ZipfGenerator>(500000, 1.0, kYRange, 7);
+  } else if (dataset == "zipf2") {
+    gen = std::make_unique<ZipfGenerator>(500000, 2.0, kYRange, 7);
+  } else if (dataset == "ethernet") {
+    gen = std::make_unique<EthernetTraceGenerator>(kYRange, 7);
+  } else {
+    gen = std::make_unique<UniformGenerator>(500000, kYRange, 7);
+  }
+
+  CorrelatedSketchOptions f2_opts;
+  f2_opts.eps = 0.2;
+  f2_opts.delta = 0.1;
+  f2_opts.y_max = kYRange;
+  f2_opts.f_max_hint = 1e12;
+  auto f2 = MakeCorrelatedF2(f2_opts, 1);
+  CorrelatedF2HeavyHitters hot(f2_opts, /*phi_eps=*/0.05, 2);
+
+  CorrelatedF0Options f0_opts;
+  f0_opts.eps = 0.1;
+  f0_opts.x_domain = 1000000;
+  CorrelatedF0Sketch f0(f0_opts, 3);
+
+  GkQuantileSummary quantiles(0.01);
+
+  const int kStreamSize = 300000;
+  std::fprintf(stderr, "ingesting %d tuples of dataset '%s'...\n", kStreamSize,
+               std::string(gen->name()).c_str());
+  for (int i = 0; i < kStreamSize; ++i) {
+    Tuple t = gen->Next();
+    f2.Insert(t.x, t.y);
+    hot.Insert(t.x, t.y);
+    f0.Insert(t.x, t.y);
+    quantiles.Insert(t.y);
+  }
+  std::fprintf(stderr, "ready. commands: f2 <c> | f0 <c> | hot <c> <phi> | "
+                       "quantile <q> | stats | quit\n");
+
+  // ---- Interactive loop ---------------------------------------------------
+  char line[256];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    char cmd[32] = {0};
+    double a1 = 0, a2 = 0;
+    const int fields = std::sscanf(line, "%31s %lf %lf", cmd, &a1, &a2);
+    if (fields < 1) continue;
+
+    if (std::strcmp(cmd, "quit") == 0 || std::strcmp(cmd, "q") == 0) break;
+
+    if (std::strcmp(cmd, "f2") == 0 && fields >= 2) {
+      auto r = f2.Query(static_cast<uint64_t>(a1));
+      if (r.ok()) {
+        std::printf("F2(y <= %.0f) ~= %.0f\n", a1, r.value());
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
+    } else if (std::strcmp(cmd, "f0") == 0 && fields >= 2) {
+      auto r = f0.Query(static_cast<uint64_t>(a1));
+      if (r.ok()) {
+        std::printf("distinct(y <= %.0f) ~= %.0f\n", a1, r.value());
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
+    } else if (std::strcmp(cmd, "hot") == 0 && fields >= 3) {
+      auto r = hot.Query(static_cast<uint64_t>(a1), a2);
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      } else if (r.value().empty()) {
+        std::printf("no item holds %.0f%% of F2(y <= %.0f)\n", 100 * a2, a1);
+      } else {
+        for (const HeavyHitter& h : r.value()) {
+          std::printf("item %llu: freq ~= %.0f (%.1f%% of F2)\n",
+                      static_cast<unsigned long long>(h.item),
+                      h.estimated_frequency, 100.0 * h.estimated_f2_share);
+        }
+      }
+    } else if (std::strcmp(cmd, "quantile") == 0 && fields >= 2) {
+      auto r = quantiles.Query(a1);
+      if (r.ok()) {
+        std::printf("y-quantile(%.2f) ~= %llu\n", a1,
+                    static_cast<unsigned long long>(r.value()));
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
+    } else if (std::strcmp(cmd, "stats") == 0) {
+      std::printf("f2 summary:  %zu tuple-equivalents (%.1f KiB)\n",
+                  f2.StoredTuplesEquivalent(), f2.SizeBytes() / 1024.0);
+      std::printf("hot summary: %zu tuple-equivalents\n",
+                  hot.StoredTuplesEquivalent());
+      std::printf("f0 summary:  %zu tuple-equivalents\n",
+                  f0.StoredTuplesEquivalent());
+      std::printf("quantiles:   %zu tuples over %llu values\n",
+                  quantiles.TupleCount(),
+                  static_cast<unsigned long long>(quantiles.count()));
+    } else {
+      std::printf("unknown command; try: f2 <c> | f0 <c> | hot <c> <phi> | "
+                  "quantile <q> | stats | quit\n");
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

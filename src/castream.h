@@ -1,0 +1,44 @@
+// Umbrella header: the public API of CAStream.
+//
+// CAStream implements Tirthapura & Woodruff, "A General Method for
+// Estimating Correlated Aggregates Over a Data Stream" (ICDE 2012 /
+// Algorithmica 2015): summaries answering f({x : y <= c}) for query-time c.
+//
+// Typical use:
+//   #include "src/castream.h"
+//   auto opts = castream::CorrelatedSketchOptions{.eps = 0.2, .delta = 0.05,
+//                                                .y_max = 1'000'000,
+//                                                .f_max_hint = 1e12};
+//   auto sketch = castream::MakeCorrelatedF2(opts, /*seed=*/42);
+//   sketch.Insert(item_id, attribute);
+//   double estimate = sketch.Query(cutoff).value();
+#ifndef CASTREAM_CASTREAM_H_
+#define CASTREAM_CASTREAM_H_
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/core/async_window.h"
+#include "src/core/bidirectional.h"
+#include "src/core/correlated_f0.h"
+#include "src/core/correlated_f0_fm.h"
+#include "src/core/correlated_fk.h"
+#include "src/core/correlated_heavy_hitters.h"
+#include "src/core/correlated_sketch.h"
+#include "src/core/dyadic.h"
+#include "src/core/exact_correlated.h"
+#include "src/core/greater_than.h"
+#include "src/core/multipass.h"
+#include "src/core/options.h"
+#include "src/quantile/gk_quantile.h"
+#include "src/sketch/ams_f2.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/count_sketch.h"
+#include "src/sketch/exact.h"
+#include "src/sketch/fk_sketch.h"
+#include "src/sketch/kmv.h"
+#include "src/sketch/l1_sketch.h"
+#include "src/stream/generators.h"
+#include "src/stream/tape.h"
+#include "src/stream/types.h"
+
+#endif  // CASTREAM_CASTREAM_H_

@@ -1,0 +1,50 @@
+// Small numeric helpers shared across sketches and the correlated framework.
+#ifndef CASTREAM_COMMON_MATH_UTIL_H_
+#define CASTREAM_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace castream {
+
+/// \brief Median of a scratch vector (modifies its argument). For even sizes
+/// returns the mean of the two central order statistics.
+inline double MedianInPlace(std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  double lo = *std::max_element(v.begin(), v.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+/// \brief x^k for small integral k by repeated squaring (exact for doubles
+/// within range; avoids std::pow's libm dispatch on hot paths).
+inline double PowInt(double x, int k) {
+  double result = 1.0;
+  double base = x;
+  for (int e = k; e > 0; e >>= 1) {
+    if (e & 1) result *= base;
+    base *= base;
+  }
+  return result;
+}
+
+/// \brief True if `estimate` is within relative error eps of `truth`.
+/// A zero truth requires a zero estimate.
+inline bool WithinRelativeError(double estimate, double truth, double eps) {
+  if (truth == 0.0) return estimate == 0.0;
+  return std::abs(estimate - truth) <= eps * std::abs(truth);
+}
+
+/// \brief ceil(a/b) for positive integers.
+inline constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace castream
+
+#endif  // CASTREAM_COMMON_MATH_UTIL_H_

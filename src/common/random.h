@@ -1,0 +1,72 @@
+// Deterministic, fast pseudo-random number generation for reproducible
+// experiments. All stochastic components of CAStream are seeded explicitly;
+// no global RNG state.
+#ifndef CASTREAM_COMMON_RANDOM_H_
+#define CASTREAM_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace castream {
+
+/// \brief SplitMix64: tiny, statistically solid generator used to expand a
+/// single user seed into the many seeds a multi-structure summary needs.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// \brief Next 64 uniform bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief xoshiro256**: the workhorse generator for workload synthesis.
+///
+/// Chosen over std::mt19937_64 for speed (the generators feed multi-million
+/// tuple streams in the benches) and for a compact, copyable state.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.Next();
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform integer in [0, bound) via Lemire's multiply-shift
+  /// (slightly biased for astronomically large bounds; fine for workloads).
+  uint64_t NextBounded(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_COMMON_RANDOM_H_

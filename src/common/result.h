@@ -1,0 +1,72 @@
+// Result<T>: value-or-Status, the return type of query APIs that can fail.
+#ifndef CASTREAM_COMMON_RESULT_H_
+#define CASTREAM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace castream {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result / rocksdb's StatusOr pattern: construction from a
+/// T is implicit (the success path should read naturally), construction from
+/// a non-OK Status is implicit on the error path, and accessing the value of
+/// an errored Result is a programming error caught by assert in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// \brief Success case. Intentionally implicit: `return 42;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// \brief Error case. Intentionally implicit:
+  /// `return Status::InvalidArgument(...);`. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// \brief The error status; Status::OK() if a value is present.
+  const Status& status() const { return status_; }
+
+  /// \brief The contained value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// \brief Value if present, otherwise the supplied fallback.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ has a value.
+};
+
+/// \brief Propagates the error of a Result expression, or assigns its value.
+#define CASTREAM_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto CASTREAM_CONCAT_(_res_, __LINE__) = (expr);            \
+  if (!CASTREAM_CONCAT_(_res_, __LINE__).ok())                \
+    return CASTREAM_CONCAT_(_res_, __LINE__).status();        \
+  lhs = std::move(CASTREAM_CONCAT_(_res_, __LINE__)).value()
+
+#define CASTREAM_CONCAT_(a, b) CASTREAM_CONCAT_IMPL_(a, b)
+#define CASTREAM_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace castream
+
+#endif  // CASTREAM_COMMON_RESULT_H_

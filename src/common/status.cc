@@ -1,0 +1,33 @@
+#include "src/common/status.h"
+
+namespace castream {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kQueryOutOfRange:
+      return "QueryOutOfRange";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kPreconditionFailed:
+      return "PreconditionFailed";
+    case Status::Code::kInternal:
+      return "Internal";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace castream

@@ -1,0 +1,85 @@
+// Status: lightweight error propagation without exceptions, following the
+// RocksDB / Arrow idiom for database-systems code. All fallible public APIs
+// in CAStream return Status or Result<T> (see result.h).
+#ifndef CASTREAM_COMMON_STATUS_H_
+#define CASTREAM_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace castream {
+
+/// \brief Outcome of a fallible operation.
+///
+/// A Status is either OK (the default) or carries an error code plus a
+/// human-readable message. Statuses are cheap to move; an OK status performs
+/// no allocation.
+class Status {
+ public:
+  /// Error taxonomy. Kept deliberately small; codes mirror the situations
+  /// that arise in streaming-summary APIs.
+  enum class Code : unsigned char {
+    kOk = 0,
+    /// The query cannot be answered from the summary (e.g. Algorithm 3
+    /// outputs FAIL because every level has discarded data below the cutoff).
+    kQueryOutOfRange = 1,
+    /// Caller supplied an argument outside the documented domain.
+    kInvalidArgument = 2,
+    /// The summary's precondition was violated (e.g. merging sketches built
+    /// from different hash seeds).
+    kPreconditionFailed = 3,
+    /// An internal invariant failed; indicates a bug in the library.
+    kInternal = 4,
+    /// Functionality intentionally not provided in this configuration.
+    kNotSupported = 5,
+  };
+
+  Status() noexcept : code_(Code::kOk) {}
+
+  /// \brief Constructs an OK status. Identical to the default constructor;
+  /// provided for call-site readability.
+  static Status OK() { return Status(); }
+
+  static Status QueryOutOfRange(std::string_view msg) {
+    return Status(Code::kQueryOutOfRange, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status PreconditionFailed(std::string_view msg) {
+    return Status(Code::kPreconditionFailed, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+
+  /// \brief Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<code name>: <message>" for logging.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// \brief Returns early with the error if the expression is not OK.
+#define CASTREAM_RETURN_NOT_OK(expr)            \
+  do {                                          \
+    ::castream::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace castream
+
+#endif  // CASTREAM_COMMON_STATUS_H_

@@ -1,0 +1,67 @@
+// Both selection-predicate directions from one summary pair.
+//
+// The paper treats sigma = (y <= c) and sigma = (y >= c) symmetrically
+// (Section 1): a structure for prefix predicates answers suffix predicates
+// on the mirrored attribute y' = ymax - y. BidirectionalCorrelatedSketch
+// maintains the two mirrored instances so callers get both directions with
+// one Insert — the form an analytics system would actually deploy.
+#ifndef CASTREAM_CORE_BIDIRECTIONAL_H_
+#define CASTREAM_CORE_BIDIRECTIONAL_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/core/correlated_sketch.h"
+
+namespace castream {
+
+/// \brief A pair of CorrelatedSketch instances answering f({x : y <= c})
+/// and f({x : y >= c}) for query-time c.
+template <SketchFamilyFactory Factory>
+class BidirectionalCorrelatedSketch {
+ public:
+  /// \brief Both directions share options; each needs its own factory (the
+  /// two instances must not share randomness, or failures correlate).
+  BidirectionalCorrelatedSketch(const CorrelatedSketchOptions& options,
+                                Factory forward_factory,
+                                Factory mirrored_factory)
+      : forward_(options, std::move(forward_factory)),
+        mirrored_(options, std::move(mirrored_factory)) {}
+
+  void Insert(uint64_t x, uint64_t y, int64_t weight = 1) {
+    forward_.Insert(x, y, weight);
+    // Mirror within the dyadic domain the forward instance settled on.
+    const uint64_t ym = forward_.y_max();
+    const uint64_t clamped = y > ym ? ym : y;
+    mirrored_.Insert(x, ym - clamped, weight);
+  }
+
+  /// \brief Estimate of f({x : y <= c}).
+  Result<double> QueryAtMost(uint64_t c) const { return forward_.Query(c); }
+
+  /// \brief Estimate of f({x : y >= c}).
+  Result<double> QueryAtLeast(uint64_t c) const {
+    const uint64_t ym = forward_.y_max();
+    if (c > ym) return 0.0;  // nothing can sit above the domain
+    return mirrored_.Query(ym - c);
+  }
+
+  const CorrelatedSketch<Factory>& forward() const { return forward_; }
+  const CorrelatedSketch<Factory>& mirrored() const { return mirrored_; }
+
+  size_t SizeBytes() const {
+    return forward_.SizeBytes() + mirrored_.SizeBytes();
+  }
+  size_t StoredTuplesEquivalent() const {
+    return forward_.StoredTuplesEquivalent() +
+           mirrored_.StoredTuplesEquivalent();
+  }
+
+ private:
+  CorrelatedSketch<Factory> forward_;
+  CorrelatedSketch<Factory> mirrored_;
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_CORE_BIDIRECTIONAL_H_

@@ -1,0 +1,186 @@
+#include "src/core/correlated_f0.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/bit_util.h"
+#include "src/common/math_util.h"
+#include "src/common/random.h"
+#include "src/hash/hash_family.h"
+
+namespace castream {
+
+uint32_t CorrelatedF0Options::Levels() const {
+  // Levels 0 .. log2(m): level l samples at rate 2^-l, and rates below 1/m
+  // would leave deeper levels empty in expectation.
+  return std::min<uint32_t>(40, CeilLog2(x_domain + 1) + 1);
+}
+
+uint32_t CorrelatedF0Options::Alpha() const {
+  if (alpha_override != 0) return alpha_override;
+  const double a = std::ceil(kappa / (eps * eps));
+  return static_cast<uint32_t>(std::max(16.0, std::min(a, 1e7)));
+}
+
+uint32_t CorrelatedF0Options::Repetitions() const {
+  if (repetitions_override != 0) return repetitions_override;
+  // Median of r independent estimators drives the per-query failure
+  // probability down exponentially in r; r = 1 at delta >= 1/4, growing
+  // logarithmically. Kept odd so the median is a single estimator's output.
+  const double r = std::ceil(std::log2(1.0 / std::max(1e-12, delta)));
+  uint32_t reps = static_cast<uint32_t>(std::clamp(r, 1.0, 15.0));
+  return reps | 1u;  // round up to odd
+}
+
+CorrelatedF0Sketch::CorrelatedF0Sketch(const CorrelatedF0Options& options,
+                                       uint64_t seed,
+                                       bool track_second_occurrence)
+    : options_(options), track_second_(track_second_occurrence),
+      alpha_(options.Alpha()) {
+  SplitMix64 seeder(seed);
+  const uint32_t reps = options_.Repetitions();
+  instances_.resize(reps);
+  for (Instance& inst : instances_) {
+    inst.hash_seed = seeder.Next();
+    inst.levels.resize(options_.Levels());
+  }
+}
+
+void CorrelatedF0Sketch::Insert(uint64_t x, uint64_t y) {
+  for (Instance& inst : instances_) InsertInto(inst, x, y);
+}
+
+void CorrelatedF0Sketch::InsertInto(Instance& inst, uint64_t x, uint64_t y) {
+  // Item x participates in levels 0 .. HashLevel(h(x)): level l is a
+  // 2^-l-rate sample of the identifier universe.
+  const uint64_t h = MixHash64(x, inst.hash_seed);
+  const uint32_t max_level = std::min<uint32_t>(
+      static_cast<uint32_t>(HashLevel(h)),
+      static_cast<uint32_t>(inst.levels.size()) - 1);
+
+  for (uint32_t l = 0; l <= max_level; ++l) {
+    Level& level = inst.levels[l];
+    auto it = level.by_x.find(x);
+    if (it != level.by_x.end()) {
+      // Known identifier: maintain the two smallest occurrence values.
+      Entry& e = it->second;
+      if (y < e.y_min) {
+        level.by_y.erase({e.y_min, x});
+        level.by_y.emplace(std::make_pair(y, x), x);
+        if (track_second_) e.y_second = e.y_min;
+        e.y_min = y;
+      } else if (track_second_ && y < e.y_second) {
+        e.y_second = y;
+      }
+      continue;
+    }
+
+    // New identifier at this level.
+    if (level.by_x.size() < alpha_) {
+      level.by_x.emplace(x, Entry{y, UINT64_MAX});
+      level.by_y.emplace(std::make_pair(y, x), x);
+      continue;
+    }
+    // Budget full: keep the alpha smallest y_min values. Either the new
+    // arrival or the current maximum is given up, and Y_l records the
+    // smallest y ever given up.
+    auto max_it = std::prev(level.by_y.end());
+    if (y >= max_it->first.first) {
+      level.y_threshold = std::min(level.y_threshold, y);
+      continue;
+    }
+    const uint64_t evicted_x = max_it->second;
+    level.y_threshold = std::min(level.y_threshold, max_it->first.first);
+    level.by_x.erase(evicted_x);
+    level.by_y.erase(max_it);
+    level.by_x.emplace(x, Entry{y, UINT64_MAX});
+    level.by_y.emplace(std::make_pair(y, x), x);
+  }
+}
+
+Result<double> CorrelatedF0Sketch::QueryInstance(const Instance& inst,
+                                                 uint64_t c,
+                                                 bool rarity) const {
+  // Smallest complete level: Y_l > c means no entry relevant to [0, c] was
+  // given up, so the level is an unbiased 2^-l sample of {x : min_y(x)<=c}.
+  for (uint32_t l = 0; l < inst.levels.size(); ++l) {
+    const Level& level = inst.levels[l];
+    if (level.y_threshold <= c) continue;
+    double matching = 0;
+    double singletons = 0;
+    // by_y is ordered by y_min, so the matching prefix is contiguous.
+    for (auto it = level.by_y.begin();
+         it != level.by_y.end() && it->first.first <= c; ++it) {
+      ++matching;
+      if (rarity) {
+        const Entry& e = level.by_x.at(it->second);
+        if (e.y_second > c) ++singletons;
+      }
+    }
+    if (rarity) {
+      if (matching == 0) return 0.0;
+      return singletons / matching;  // sampling scale cancels in the ratio
+    }
+    return matching * std::ldexp(1.0, static_cast<int>(l));
+  }
+  return Status::QueryOutOfRange(
+      "correlated F0 query cutoff below every level's discard threshold");
+}
+
+Result<double> CorrelatedF0Sketch::Query(uint64_t c) const {
+  std::vector<double> estimates;
+  estimates.reserve(instances_.size());
+  for (const Instance& inst : instances_) {
+    auto r = QueryInstance(inst, c, /*rarity=*/false);
+    if (r.ok()) estimates.push_back(r.value());
+  }
+  if (estimates.empty()) {
+    return Status::QueryOutOfRange(
+        "correlated F0 query failed in every repetition");
+  }
+  return MedianInPlace(estimates);
+}
+
+Result<double> CorrelatedF0Sketch::QueryRarity(uint64_t c) const {
+  if (!track_second_) {
+    return Status::NotSupported(
+        "rarity queries need track_second_occurrence=true "
+        "(use CorrelatedRaritySketch)");
+  }
+  std::vector<double> estimates;
+  estimates.reserve(instances_.size());
+  for (const Instance& inst : instances_) {
+    auto r = QueryInstance(inst, c, /*rarity=*/true);
+    if (r.ok()) estimates.push_back(r.value());
+  }
+  if (estimates.empty()) {
+    return Status::QueryOutOfRange(
+        "correlated rarity query failed in every repetition");
+  }
+  return MedianInPlace(estimates);
+}
+
+size_t CorrelatedF0Sketch::StoredTuplesEquivalent() const {
+  size_t total = 0;
+  for (const Instance& inst : instances_) {
+    for (const Level& level : inst.levels) {
+      total += level.by_x.size() * (track_second_ ? 2 : 1);
+    }
+  }
+  return total;
+}
+
+size_t CorrelatedF0Sketch::SizeBytes() const {
+  size_t total = 0;
+  for (const Instance& inst : instances_) {
+    for (const Level& level : inst.levels) {
+      // by_x entry: key + 2 values + node overhead; by_y entry: pair key +
+      // value + red-black node overhead.
+      total += level.by_x.size() * (3 * sizeof(uint64_t) + 16);
+      total += level.by_y.size() * (3 * sizeof(uint64_t) + 32);
+    }
+  }
+  return total;
+}
+
+}  // namespace castream

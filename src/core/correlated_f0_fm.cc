@@ -1,0 +1,82 @@
+#include "src/core/correlated_f0_fm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/bit_util.h"
+#include "src/hash/hash_family.h"
+
+namespace castream {
+
+uint32_t FmCorrelatedF0Options::Buckets() const {
+  if (buckets_override != 0) return std::max(1u, buckets_override);
+  const double m = std::ceil((0.78 / eps) * (0.78 / eps));
+  return static_cast<uint32_t>(std::clamp(m, 16.0, 1e6));
+}
+
+FmCorrelatedF0Sketch::FmCorrelatedF0Sketch(
+    const FmCorrelatedF0Options& options, uint64_t seed)
+    : buckets_(options.Buckets()), seed_(seed),
+      cells_(static_cast<size_t>(buckets_) * kPositions, UINT64_MAX) {}
+
+void FmCorrelatedF0Sketch::Insert(uint64_t x, uint64_t y) {
+  y = std::min(y, UINT64_MAX - 1);  // UINT64_MAX is the "never hit" sentinel
+  const uint64_t h = MixHash64(x, seed_);
+  // Low bits pick the stochastic-averaging bucket; the geometric position
+  // comes from the trailing zeros of the remaining bits (Pr[pos = p] =
+  // 2^-(p+1)), exactly classic PCSA with the bit replaced by min-y.
+  const uint32_t bucket = static_cast<uint32_t>(h % buckets_);
+  const uint64_t rest = h / buckets_;
+  const int position = std::min(kPositions - 1, TrailingZeros(rest | (uint64_t{1} << 63)));
+  uint64_t& cell = cells_[CellIndex(bucket, position)];
+  cell = std::min(cell, y);
+}
+
+double FmCorrelatedF0Sketch::Query(uint64_t c) const {
+  c = std::min(c, UINT64_MAX - 1);  // never match the "never hit" sentinel
+  // Per bucket: R = index of the lowest position whose minimum exceeds c
+  // (the lowest "unset bit" for this cutoff). PCSA: F0 ~ m * 2^mean(R) / phi.
+  double r_sum = 0.0;
+  for (uint32_t b = 0; b < buckets_; ++b) {
+    int r = 0;
+    while (r < kPositions && cells_[CellIndex(b, r)] <= c) ++r;
+    r_sum += static_cast<double>(r);
+  }
+  const double mean_r = r_sum / static_cast<double>(buckets_);
+  const double estimate =
+      static_cast<double>(buckets_) * std::pow(2.0, mean_r) / kPhi;
+  // Small-count regime: with mean_r < ~1.5 the raw PCSA estimator is
+  // biased; fall back to linear counting on the occupied first positions
+  // (the same switch HyperLogLog-family estimators make).
+  if (mean_r < 1.5) {
+    uint32_t empty = 0;
+    for (uint32_t b = 0; b < buckets_; ++b) {
+      empty += (cells_[CellIndex(b, 0)] > c);
+    }
+    if (empty > 0) {
+      return static_cast<double>(buckets_) *
+             std::log(static_cast<double>(buckets_) /
+                      static_cast<double>(empty));
+    }
+  }
+  return estimate;
+}
+
+Status FmCorrelatedF0Sketch::MergeFrom(const FmCorrelatedF0Sketch& other) {
+  if (seed_ != other.seed_ || buckets_ != other.buckets_) {
+    return Status::PreconditionFailed(
+        "FmCorrelatedF0Sketch::MergeFrom: sketches from different families");
+  }
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] = std::min(cells_[i], other.cells_[i]);
+  }
+  return Status::OK();
+}
+
+size_t FmCorrelatedF0Sketch::StoredTuplesEquivalent() const {
+  size_t occupied = 0;
+  for (uint64_t cell : cells_) occupied += (cell != UINT64_MAX);
+  return occupied;
+}
+
+}  // namespace castream

@@ -1,0 +1,81 @@
+// Correlated distinct counting via Flajolet-Martin bit patterns — the
+// alternative Section 3.2 sketches in one sentence: "other methods for
+// estimating distinct elements may also be adapted to work here, such as
+// the variant of the algorithm due to Flajolet and Martin [16], as
+// elaborated by Datar et al. [15]".
+//
+// The adaptation mirrors Datar et al.'s sliding-window trick: a PCSA
+// (probabilistic counting with stochastic averaging) sketch normally sets
+// bit p of bucket b when some item hashes there; for correlated queries the
+// sketch instead stores, per (bucket, position) cell, the *minimum y* among
+// items hashing there. At query time a cell counts as "set for cutoff c"
+// iff its stored minimum is <= c, turning one fixed-size structure into an
+// F0 estimator for every prefix {x : y <= c} simultaneously.
+//
+// Compared with CorrelatedF0Sketch (the paper's main, sampling-based
+// algorithm): FM space is a fixed m x 64 grid independent of the identifier
+// domain (no per-level samples), while the sampler adapts to skew and is
+// exact on small streams. bench_f0_variants contrasts the two.
+#ifndef CASTREAM_CORE_CORRELATED_F0_FM_H_
+#define CASTREAM_CORE_CORRELATED_F0_FM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace castream {
+
+/// \brief Tunables for FmCorrelatedF0Sketch.
+struct FmCorrelatedF0Options {
+  /// Target relative error; the PCSA estimator concentrates with standard
+  /// deviation ~0.78/sqrt(buckets), so buckets = ceil((0.78/eps)^2).
+  double eps = 0.1;
+  /// Nonzero: use exactly this many stochastic-averaging buckets.
+  uint32_t buckets_override = 0;
+
+  uint32_t Buckets() const;
+};
+
+/// \brief Fixed-size summary for |{x : (x, y) in S, y <= c}| with
+/// query-time c, insertion-only, mergeable by cell-wise minimum.
+class FmCorrelatedF0Sketch {
+ public:
+  FmCorrelatedF0Sketch(const FmCorrelatedF0Options& options, uint64_t seed);
+
+  /// \brief Observes tuple (x, y). O(1).
+  void Insert(uint64_t x, uint64_t y);
+
+  /// \brief PCSA estimate of the distinct count among tuples with y <= c.
+  /// Never fails: the structure is complete for every cutoff by
+  /// construction (no discards), which is the FM adaptation's charm.
+  double Query(uint64_t c) const;
+
+  /// \brief Cell-wise minimum with another sketch of the same family.
+  Status MergeFrom(const FmCorrelatedF0Sketch& other);
+
+  uint32_t buckets() const { return buckets_; }
+  /// \brief Occupied cells (finite minima) — the tuple-space metric.
+  size_t StoredTuplesEquivalent() const;
+  size_t SizeBytes() const {
+    return cells_.size() * sizeof(uint64_t) + sizeof(*this);
+  }
+
+ private:
+  static constexpr int kPositions = 64;
+  static constexpr double kPhi = 0.77351;  // FM magic constant
+
+  size_t CellIndex(uint32_t bucket, int position) const {
+    return static_cast<size_t>(bucket) * kPositions + position;
+  }
+
+  uint32_t buckets_;
+  uint64_t seed_;
+  // min y per (bucket, position); UINT64_MAX = never hit.
+  std::vector<uint64_t> cells_;
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_CORE_CORRELATED_F0_FM_H_

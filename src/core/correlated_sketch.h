@@ -1,0 +1,458 @@
+// The paper's main contribution (Section 2): a general reduction from
+// correlated aggregation  f({x_i : y_i <= c})  with query-time cutoff c to
+// whole-stream sketching of f.
+//
+// Structure (Algorithms 1-3):
+//   * levels l = 0 .. lmax with 2^lmax > fmax;
+//   * level 0 holds up to alpha singleton buckets, one per exact y value;
+//   * level l >= 1 holds a tree of buckets over the dyadic intervals of
+//     [0, ymax]; a leaf "closes" when the sketch estimate of its contents
+//     reaches 2^(l+1) and splits into its two dyadic children on the next
+//     arrival routed to it;
+//   * when a level exceeds its bucket budget alpha, the bucket with the
+//     largest left endpoint (the rightmost leaf) is discarded and the
+//     level's validity threshold Y_l is lowered to that endpoint;
+//   * a query for cutoff c is answered at the smallest level with Y_l > c
+//     by merging the sketches of every stored bucket whose span lies in
+//     [0, c] (the set B1 of the analysis; merging needs property (b) of
+//     sketching functions, which all factories in src/sketch provide by
+//     sharing hash functions within a family).
+//
+// Two deliberate deviations from the paper's pseudocode, both safe:
+//   * Algorithm 2 line 8 `return`s out of all remaining levels when
+//     Y_i <= y; monotonicity of Y_i in i holds only in expectation, so we
+//     `continue` per level instead (cost: one comparison per level).
+//   * Algorithm 3 line 3 "sums over appropriate singletons" at level 0; for
+//     superadditive f (e.g. F2) summing per-singleton aggregates
+//     underestimates f of the union, so we merge the singleton sketches and
+//     estimate once — the interpretation consistent with Theorem 2's proof,
+//     which treats level 0 through event G exactly like other levels.
+#ifndef CASTREAM_CORE_CORRELATED_SKETCH_H_
+#define CASTREAM_CORE_CORRELATED_SKETCH_H_
+
+#include <algorithm>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/core/dyadic.h"
+#include "src/core/options.h"
+#include "src/stream/types.h"
+
+namespace castream {
+
+/// \brief Requirements on the per-bucket sketch type: weighted point
+/// updates, a cheap numeric estimate, in-family merging, and size
+/// accounting. Satisfied by AmsF2Sketch, CountSketch, FkSketch and
+/// ExactAggregate.
+template <typename S>
+concept MergeableSketch =
+    std::movable<S> && requires(S s, const S& cs, uint64_t x, int64_t w) {
+      s.Insert(x, w);
+      { cs.Estimate() } -> std::convertible_to<double>;
+      { s.MergeFrom(cs) } -> std::same_as<Status>;
+      { cs.SizeBytes() } -> std::convertible_to<size_t>;
+      { cs.CounterCount() } -> std::convertible_to<size_t>;
+    };
+
+/// \brief Requirements on the sketch factory: stamps out mergeable sketches
+/// that share hash functions (property (b) of sketching functions).
+template <typename F>
+concept SketchFamilyFactory = requires(const F& f) {
+  { f.Create() } -> MergeableSketch;
+};
+
+/// \brief Summary for correlated aggregate queries f(S, c) = f({x : y <= c})
+/// where c is supplied at query time (Section 2 of the paper).
+///
+/// \tparam Factory a SketchFamilyFactory for the whole-stream aggregate f.
+template <SketchFamilyFactory Factory>
+class CorrelatedSketch {
+ public:
+  using Sketch = std::decay_t<decltype(std::declval<const Factory&>().Create())>;
+
+  /// \brief Result of a query: the merged B1 sketch, the level that
+  /// answered, and how many stored buckets were merged.
+  struct MergedResult {
+    Sketch sketch;
+    uint32_t level = 0;
+    uint32_t merged_buckets = 0;
+  };
+
+  CorrelatedSketch(const CorrelatedSketchOptions& options, Factory factory)
+      : options_(options),
+        factory_(std::move(factory)),
+        y_max_(RoundUpToDyadicDomain(options.y_max)),
+        alpha_(options.Alpha()),
+        max_level_(options.MaxLevel()),
+        levels_(max_level_ + 1) {
+    // Algorithm 1: every level l >= 1 starts with a single open root bucket
+    // spanning [0, ymax]; Y_l starts at infinity.
+    for (uint32_t l = 1; l <= max_level_; ++l) {
+      Level& level = levels_[l];
+      level.nodes.emplace_back(DyadicInterval{0, y_max_}, factory_.Create());
+      level.root = 0;
+      level.stored = 1;
+      level.leaves_by_lo.emplace(0, 0);
+    }
+  }
+
+  /// \brief Algorithm 2: routes (x, y) into one bucket per level.
+  /// `weight` extends the paper's unweighted updates to the positively
+  /// weighted case; negative weights void the one-pass guarantee
+  /// (Section 4's lower bound) and belong to the multipass API.
+  void Insert(uint64_t x, uint64_t y, int64_t weight = 1) {
+    y = std::min(y, y_max_);
+    ++tuples_inserted_;
+    InsertLevel0(x, y, weight);
+    for (uint32_t l = 1; l <= max_level_; ++l) {
+      // Paper line 8 `return`s; we `continue` (see file comment).
+      if (y >= levels_[l].y_threshold) continue;
+      InsertTreeLevel(l, x, y, weight);
+    }
+  }
+
+  void Insert(const Tuple& t) { Insert(t.x, t.y, 1); }
+
+  /// \brief Batched insertion in non-decreasing y order (the amortization of
+  /// Lemma 9): sorting a batch makes consecutive tree descents hit the same
+  /// root-to-leaf paths while they are cache-resident.
+  void InsertBatch(std::vector<Tuple> batch) {
+    std::sort(batch.begin(), batch.end(),
+              [](const Tuple& a, const Tuple& b) { return a.y < b.y; });
+    for (const Tuple& t : batch) Insert(t.x, t.y, 1);
+  }
+
+  /// \brief Algorithm 3: point estimate of f(S, c).
+  Result<double> Query(uint64_t c) const {
+    CASTREAM_ASSIGN_OR_RETURN(MergedResult r, QueryMerged(c));
+    return r.sketch.Estimate();
+  }
+
+  /// \brief Algorithm 3 returning the merged sketch itself; composite
+  /// sketches (e.g. the heavy-hitter bundle of Section 3.3) extract more
+  /// than a single number from it.
+  Result<MergedResult> QueryMerged(uint64_t c) const {
+    c = std::min(c, y_max_);
+    // Level 0 answers if no singleton at or below c was ever discarded.
+    if (level0_threshold_ > c) {
+      MergedResult r{factory_.Create(), 0, 0};
+      for (auto it = singletons_.begin();
+           it != singletons_.end() && it->first <= c; ++it) {
+        // Merging sketches of one family cannot fail; surface bugs loudly.
+        Status st = r.sketch.MergeFrom(it->second);
+        if (!st.ok()) return st;
+        ++r.merged_buckets;
+      }
+      return r;
+    }
+    for (uint32_t l = 1; l <= max_level_; ++l) {
+      const Level& level = levels_[l];
+      if (level.y_threshold <= c) continue;
+      MergedResult r{factory_.Create(), l, 0};
+      for (const Node& node : level.nodes) {
+        if (!node.live || !node.span.ContainedInPrefix(c)) continue;
+        Status st = r.sketch.MergeFrom(node.sketch);
+        if (!st.ok()) return st;
+        ++r.merged_buckets;
+      }
+      return r;
+    }
+    // Algorithm 3 line 1: FAIL. Theorem 2's analysis (Lemma 3) shows this
+    // is a low-probability event when f_max_hint really bounds f.
+    return Status::QueryOutOfRange(
+        "correlated query cutoff below every level's discard threshold; "
+        "increase f_max_hint or the bucket budget");
+  }
+
+  // ---- Introspection (benches and tests) ----------------------------------
+
+  uint64_t y_max() const { return y_max_; }
+  uint32_t alpha() const { return alpha_; }
+  uint32_t max_level() const { return max_level_; }
+  uint64_t tuples_inserted() const { return tuples_inserted_; }
+
+  /// \brief Y_l: the smallest left endpoint ever discarded at level l
+  /// (UINT64_MAX while the level is complete). Level 0 is the singleton
+  /// level.
+  uint64_t LevelThreshold(uint32_t l) const {
+    return l == 0 ? level0_threshold_ : levels_[l].y_threshold;
+  }
+
+  /// \brief Buckets currently stored at level l (including internal nodes).
+  size_t StoredBuckets(uint32_t l) const {
+    return l == 0 ? singletons_.size() : levels_[l].stored;
+  }
+
+  size_t TotalStoredBuckets() const {
+    size_t total = singletons_.size();
+    for (uint32_t l = 1; l <= max_level_; ++l) total += levels_[l].stored;
+    return total;
+  }
+
+  /// \brief Bytes held by all bucket sketches plus bucket metadata.
+  size_t SizeBytes() const {
+    size_t total = 0;
+    for (const auto& [y, sketch] : singletons_) {
+      total += sketch.SizeBytes() + sizeof(uint64_t);
+    }
+    for (uint32_t l = 1; l <= max_level_; ++l) {
+      for (const Node& node : levels_[l].nodes) {
+        if (node.live) total += node.sketch.SizeBytes() + sizeof(Node);
+      }
+    }
+    return total;
+  }
+
+  /// \brief Structural self-check for tests: verifies, per level, that the
+  /// leaf index matches the live tree, child/parent links are consistent,
+  /// spans of children partition their parent, stored counts match live
+  /// nodes, and every live leaf left of Y_l is reachable from the root.
+  Status ValidateInvariants() const {
+    for (uint32_t l = 1; l <= max_level_; ++l) {
+      const Level& level = levels_[l];
+      size_t live = 0;
+      size_t live_leaves = 0;
+      for (size_t i = 0; i < level.nodes.size(); ++i) {
+        const Node& node = level.nodes[i];
+        if (!node.live) continue;
+        ++live;
+        const bool is_leaf = node.left < 0 && node.right < 0;
+        if (is_leaf) ++live_leaves;
+        if (node.left >= 0) {
+          const Node& child = level.nodes[node.left];
+          if (!child.live || child.parent != static_cast<int32_t>(i) ||
+              !(child.span == node.span.LeftChild())) {
+            return Status::Internal("left child link/span mismatch");
+          }
+        }
+        if (node.right >= 0) {
+          const Node& child = level.nodes[node.right];
+          if (!child.live || child.parent != static_cast<int32_t>(i) ||
+              !(child.span == node.span.RightChild())) {
+            return Status::Internal("right child link/span mismatch");
+          }
+        }
+      }
+      if (live != level.stored) {
+        return Status::Internal("stored count does not match live nodes");
+      }
+      // Every entry of the leaf index must be a live, childless node keyed
+      // by its span's left endpoint; entries must be disjoint and ordered.
+      uint64_t prev_hi = 0;
+      bool first = true;
+      for (const auto& [lo, idx] : level.leaves_by_lo) {
+        const Node& node = level.nodes[idx];
+        if (!node.live || node.left >= 0 || node.right >= 0 ||
+            node.span.lo != lo) {
+          return Status::Internal("leaf index entry invalid");
+        }
+        if (!first && node.span.lo <= prev_hi) {
+          return Status::Internal("leaf spans overlap or are unordered");
+        }
+        prev_hi = node.span.hi;
+        first = false;
+      }
+      // Childless live nodes are either indexed leaves or interior nodes
+      // whose entire subtree was discarded — the latter lie at or beyond
+      // the discard threshold and never receive inserts.
+      if (level.leaves_by_lo.size() > live_leaves) {
+        return Status::Internal("leaf index larger than live leaf count");
+      }
+      for (size_t i = 0; i < level.nodes.size(); ++i) {
+        const Node& node = level.nodes[i];
+        if (!node.live || node.left >= 0 || node.right >= 0) continue;
+        auto it = level.leaves_by_lo.find(node.span.lo);
+        const bool indexed =
+            it != level.leaves_by_lo.end() &&
+            it->second == static_cast<int32_t>(i);
+        if (!indexed && node.span.lo < level.y_threshold) {
+          return Status::Internal(
+              "unindexed childless node below the discard threshold");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// \brief The paper's space metric (Section 5): stored counters plus two
+  /// endpoints per bucket, in tuple units.
+  size_t StoredTuplesEquivalent() const {
+    size_t total = 0;
+    for (const auto& [y, sketch] : singletons_) {
+      total += sketch.CounterCount() + 1;
+    }
+    for (uint32_t l = 1; l <= max_level_; ++l) {
+      for (const Node& node : levels_[l].nodes) {
+        if (node.live) total += node.sketch.CounterCount() + 2;
+      }
+    }
+    return total;
+  }
+
+ private:
+  struct Node {
+    DyadicInterval span;
+    Sketch sketch;
+    int32_t left = -1;    // child node indices within the level pool
+    int32_t right = -1;
+    int32_t parent = -1;
+    bool open = true;     // open leaves absorb; closed leaves split next hit
+    bool live = true;     // false once discarded (slot awaits reuse)
+    uint32_t inserts_since_check = 0;
+
+    Node(DyadicInterval s, Sketch sk) : span(s), sketch(std::move(sk)) {}
+  };
+
+  struct Level {
+    std::vector<Node> nodes;
+    std::vector<int32_t> free_slots;
+    std::map<uint64_t, int32_t> leaves_by_lo;  // live leaves keyed by span.lo
+    int32_t root = -1;
+    size_t stored = 0;
+    uint64_t y_threshold = UINT64_MAX;  // Y_l of the paper
+  };
+
+  // ---- Level 0: singleton buckets ------------------------------------------
+
+  void InsertLevel0(uint64_t x, uint64_t y, int64_t weight) {
+    // Items at or beyond the discard threshold were already given up on;
+    // inserting them would only recreate buckets destined for discard.
+    if (y >= level0_threshold_) return;
+    auto it = singletons_.find(y);
+    if (it == singletons_.end()) {
+      it = singletons_.emplace(y, factory_.Create()).first;
+    }
+    it->second.Insert(x, weight);
+    if (singletons_.size() > alpha_) {
+      // Discard the singleton with the largest y; Y_0 <- min(Y_0, that y).
+      auto last = std::prev(singletons_.end());
+      level0_threshold_ = std::min(level0_threshold_, last->first);
+      singletons_.erase(last);
+    }
+  }
+
+  // ---- Levels >= 1: dyadic bucket trees ------------------------------------
+
+  double CloseThreshold(uint32_t l) const {
+    return std::ldexp(1.0, static_cast<int>(l) + 1);  // 2^(l+1)
+  }
+
+  void InsertTreeLevel(uint32_t l, uint64_t x, uint64_t y, int64_t weight) {
+    Level& level = levels_[l];
+    // Descend to the leaf whose span contains y (Algorithm 2 line 10).
+    int32_t idx = level.root;
+    while (true) {
+      Node& node = level.nodes[idx];
+      if (node.left < 0 && node.right < 0) break;  // leaf (or childless)
+      const int32_t next =
+          node.span.YInLeftChild(y) ? node.left : node.right;
+      if (next < 0) {
+        // The child containing y was discarded, so y >= Y_l; unreachable
+        // because of the threshold test in Insert, kept as a guard.
+        return;
+      }
+      idx = next;
+    }
+
+    Node& leaf = level.nodes[idx];
+    if (leaf.open) {
+      // Algorithm 2 lines 11-14: absorb, then test the closing condition
+      // est(k(b)) >= 2^(l+1) (singleton spans never close).
+      leaf.sketch.Insert(x, weight);
+      if (++leaf.inserts_since_check >= options_.est_check_interval) {
+        leaf.inserts_since_check = 0;
+        if (!leaf.span.IsSingleton() &&
+            leaf.sketch.Estimate() >= CloseThreshold(l)) {
+          leaf.open = false;
+        }
+      }
+    } else {
+      // Algorithm 2 lines 15-17: split the closed leaf into its dyadic
+      // children and route the arrival into the matching child.
+      SplitLeaf(level, idx);
+      Node& parent = level.nodes[idx];
+      const int32_t child_idx =
+          parent.span.YInLeftChild(y) ? parent.left : parent.right;
+      Node& child = level.nodes[child_idx];
+      child.sketch.Insert(x, weight);
+      if (!child.span.IsSingleton() &&
+          child.sketch.Estimate() >= CloseThreshold(l)) {
+        child.open = false;  // a heavy first arrival can close immediately
+      }
+    }
+
+    // Algorithm 2 lines 18-21: bucket budget overflow.
+    while (level.stored >= alpha_ && !level.leaves_by_lo.empty()) {
+      DiscardRightmostLeaf(level);
+    }
+  }
+
+  int32_t AllocateNode(Level& level, DyadicInterval span) {
+    if (!level.free_slots.empty()) {
+      const int32_t idx = level.free_slots.back();
+      level.free_slots.pop_back();
+      level.nodes[idx] = Node(span, factory_.Create());
+      return idx;
+    }
+    level.nodes.emplace_back(span, factory_.Create());
+    return static_cast<int32_t>(level.nodes.size() - 1);
+  }
+
+  void SplitLeaf(Level& level, int32_t idx) {
+    const DyadicInterval span = level.nodes[idx].span;
+    const int32_t left = AllocateNode(level, span.LeftChild());
+    const int32_t right = AllocateNode(level, span.RightChild());
+    Node& node = level.nodes[idx];  // re-fetch: AllocateNode may reallocate
+    node.left = left;
+    node.right = right;
+    level.nodes[left].parent = idx;
+    level.nodes[right].parent = idx;
+    level.stored += 2;
+    // The parent stops being a leaf; both children start as leaves. The
+    // left child shares the parent's lo key.
+    level.leaves_by_lo[span.lo] = left;
+    level.leaves_by_lo[level.nodes[right].span.lo] = right;
+  }
+
+  void DiscardRightmostLeaf(Level& level) {
+    auto it = std::prev(level.leaves_by_lo.end());
+    const int32_t idx = it->second;
+    Node& node = level.nodes[idx];
+    level.y_threshold = std::min(level.y_threshold, node.span.lo);
+    if (node.parent >= 0) {
+      Node& parent = level.nodes[node.parent];
+      (parent.left == idx ? parent.left : parent.right) = -1;
+    } else {
+      level.root = -1;  // level fully discarded (only with tiny alpha)
+    }
+    node.live = false;
+    // Release the sketch's memory now; the slot may sit unused for a while
+    // and a discarded dense sketch would otherwise pin its counter matrix.
+    node.sketch = factory_.Create();
+    level.leaves_by_lo.erase(it);
+    level.free_slots.push_back(idx);
+    --level.stored;
+  }
+
+  CorrelatedSketchOptions options_;
+  Factory factory_;
+  uint64_t y_max_;
+  uint32_t alpha_;
+  uint32_t max_level_;
+  uint64_t tuples_inserted_ = 0;
+
+  std::map<uint64_t, Sketch> singletons_;     // level 0
+  uint64_t level0_threshold_ = UINT64_MAX;    // Y_0
+  std::vector<Level> levels_;                 // levels_[1..max_level_]
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_CORE_CORRELATED_SKETCH_H_

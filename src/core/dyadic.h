@@ -1,0 +1,57 @@
+// Dyadic interval algebra over [0, 2^beta - 1] (Section 2 of the paper).
+#ifndef CASTREAM_CORE_DYADIC_H_
+#define CASTREAM_CORE_DYADIC_H_
+
+#include <cstdint>
+
+#include "src/common/bit_util.h"
+
+namespace castream {
+
+/// \brief A closed dyadic interval [lo, hi]: hi - lo + 1 is a power of two
+/// and lo is a multiple of it. The paper's buckets are in one-to-one
+/// correspondence with dyadic intervals of [0, ymax].
+struct DyadicInterval {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  uint64_t size() const { return hi - lo + 1; }
+  bool IsSingleton() const { return lo == hi; }
+  bool Contains(uint64_t y) const { return lo <= y && y <= hi; }
+  /// \brief span(b) subseteq [0, c] (the B1 membership test of Algorithm 3).
+  bool ContainedInPrefix(uint64_t c) const { return hi <= c; }
+  /// \brief span(b) intersects [0, c] without being contained (B2 test).
+  bool StraddlesPrefix(uint64_t c) const { return lo <= c && c < hi; }
+
+  DyadicInterval LeftChild() const {
+    return DyadicInterval{lo, lo + size() / 2 - 1};
+  }
+  DyadicInterval RightChild() const {
+    return DyadicInterval{lo + size() / 2, hi};
+  }
+  /// \brief Which child contains y (requires Contains(y) and !IsSingleton()).
+  bool YInLeftChild(uint64_t y) const { return y <= lo + size() / 2 - 1; }
+
+  friend bool operator==(const DyadicInterval&, const DyadicInterval&) = default;
+};
+
+/// \brief Rounds a domain bound up to the form 2^beta - 1 required by the
+/// dyadic decomposition ("without loss of generality, assume ymax is of the
+/// form 2^beta - 1").
+inline uint64_t RoundUpToDyadicDomain(uint64_t y_max) {
+  if (y_max == 0) return 1;  // degenerate domain: use [0, 1]
+  const int bits = CeilLog2(y_max + 1);  // smallest beta with 2^beta-1 >= ymax
+  if (bits >= 63) return (uint64_t{1} << 62) - 1;
+  return (uint64_t{1} << bits) - 1;
+}
+
+/// \brief Number of dyadic intervals that intersect [0, c] without being
+/// contained in it — at most one per size class, which is the
+/// "at most log ymax buckets in B2" fact used by Lemma 4.
+inline uint32_t MaxStraddlingIntervals(uint64_t y_max) {
+  return static_cast<uint32_t>(CeilLog2(y_max + 2));
+}
+
+}  // namespace castream
+
+#endif  // CASTREAM_CORE_DYADIC_H_

@@ -1,0 +1,73 @@
+// Exact correlated aggregation with linear storage: the baseline the
+// paper's Section 5 compares sketch sizes against ("existing linear storage
+// solutions"), and the ground truth for every accuracy experiment.
+#ifndef CASTREAM_CORE_EXACT_CORRELATED_H_
+#define CASTREAM_CORE_EXACT_CORRELATED_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/exact.h"
+#include "src/stream/types.h"
+
+namespace castream {
+
+/// \brief Stores the whole stream; answers any correlated aggregate query
+/// exactly in O(n) (with a sort memoized across queries).
+class ExactCorrelatedAggregate {
+ public:
+  explicit ExactCorrelatedAggregate(AggregateKind kind, double k = 2.0)
+      : factory_(kind, k) {}
+
+  void Insert(uint64_t x, uint64_t y, int64_t weight = 1) {
+    data_.push_back(WeightedTuple{x, y, weight});
+    sorted_ = false;
+  }
+
+  /// \brief Exact f({x : y <= c}).
+  double Query(uint64_t c) const {
+    EnsureSorted();
+    ExactAggregate agg = factory_.Create();
+    for (const WeightedTuple& t : data_) {
+      if (t.y > c) break;
+      agg.Insert(t.x, t.weight);
+    }
+    return agg.Estimate();
+  }
+
+  /// \brief Exact frequency of item x within the prefix y <= c.
+  int64_t Frequency(uint64_t x, uint64_t c) const {
+    EnsureSorted();
+    int64_t f = 0;
+    for (const WeightedTuple& t : data_) {
+      if (t.y > c) break;
+      if (t.x == x) f += t.weight;
+    }
+    return f;
+  }
+
+  size_t size() const { return data_.size(); }
+
+  /// \brief The linear-storage space this baseline needs, in the paper's
+  /// tuple units (one per stream element).
+  size_t StoredTuplesEquivalent() const { return data_.size(); }
+  size_t SizeBytes() const { return data_.size() * sizeof(WeightedTuple); }
+
+ private:
+  void EnsureSorted() const {
+    if (sorted_) return;
+    std::stable_sort(
+        data_.begin(), data_.end(),
+        [](const WeightedTuple& a, const WeightedTuple& b) { return a.y < b.y; });
+    sorted_ = true;
+  }
+
+  ExactAggregateFactory factory_;
+  mutable std::vector<WeightedTuple> data_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_CORE_EXACT_CORRELATED_H_

@@ -1,0 +1,77 @@
+#include "src/core/greater_than.h"
+
+#include <vector>
+
+#include "src/sketch/ams_f2.h"
+
+namespace castream {
+
+Result<GreaterThanOutcome> GreaterThanProtocol::Compare(uint64_t a, uint64_t b,
+                                                        uint32_t bits,
+                                                        uint64_t seed) {
+  if (bits == 0 || bits > 63) {
+    return Status::InvalidArgument("bits must be in [1, 63]");
+  }
+  if (bits < 64 && (a >> bits || b >> bits)) {
+    return Status::InvalidArgument("inputs exceed the declared bit width");
+  }
+
+  // Shared randomness: one AMS family; the state shipped between parties is
+  // one sketch per prefix tau = 1..bits (f_tau needs the net weights of
+  // records with y <= tau, and a linear sketch per prefix provides exactly
+  // that under deletions).
+  AmsF2SketchFactory factory(SketchDims{3, 16}, seed);
+  std::vector<AmsF2Sketch> prefix_sketches;
+  prefix_sketches.reserve(bits);
+  for (uint32_t t = 0; t < bits; ++t) prefix_sketches.push_back(factory.Create());
+
+  auto bit_at = [bits](uint64_t v, uint32_t i) -> uint64_t {
+    // i is 1-based from the most significant of the `bits`-wide value.
+    return (v >> (bits - i)) & 1;
+  };
+
+  // Alice's pass: insert (1 + a_i, i) with weight +1. Record (x, y=i)
+  // affects every prefix sketch with tau >= i.
+  for (uint32_t i = 1; i <= bits; ++i) {
+    const uint64_t x = 1 + bit_at(a, i);
+    for (uint32_t tau = i; tau <= bits; ++tau) {
+      prefix_sketches[tau - 1].Insert(x, +1);
+    }
+  }
+
+  GreaterThanOutcome outcome;
+  // Alice -> Bob: the whole algorithm state.
+  size_t state_bytes = 0;
+  for (const AmsF2Sketch& s : prefix_sketches) state_bytes += s.SizeBytes();
+  outcome.bytes_communicated += state_bytes;
+  outcome.rounds = 1;
+
+  // Bob's pass: insert (1 + b_i, i) with weight -1.
+  for (uint32_t i = 1; i <= bits; ++i) {
+    const uint64_t x = 1 + bit_at(b, i);
+    for (uint32_t tau = i; tau <= bits; ++tau) {
+      prefix_sketches[tau - 1].Insert(x, -1);
+    }
+  }
+  // Bob -> Alice: state back (the paper's protocol returns control so Alice
+  // can finish; for one pass this is the final round).
+  outcome.bytes_communicated += state_bytes;
+  outcome.rounds = 2;
+
+  // Query tau = 1..bits; smallest tau with f_tau > 0 locates the first
+  // disagreement (before it, prefixes cancel exactly; at it, the net count
+  // of one identifier is +1 and the other -1, so F2 = 2).
+  for (uint32_t tau = 1; tau <= bits; ++tau) {
+    if (prefix_sketches[tau - 1].Estimate() > 0.5) {
+      outcome.first_disagreement = tau;
+      // g(k) = 0 iff k = 0 (fact (2) in the proof of Theorem 6): a
+      // disagreement at tau with b_tau = 1 means b's prefix is larger.
+      outcome.comparison = bit_at(b, tau) == 1 ? -1 : +1;
+      return outcome;
+    }
+  }
+  outcome.comparison = 0;  // all estimates zero: a == b
+  return outcome;
+}
+
+}  // namespace castream

@@ -1,0 +1,54 @@
+// The GREATER-THAN reduction of Section 4.1, made executable.
+//
+// Theorem 6 proves that any t-pass algorithm estimating correlated
+// aggregates of turnstile streams solves the two-party GREATER-THAN
+// communication problem, whose t-round complexity is Omega(r^(1/t))
+// (Miltersen et al. [25]) — hence single-pass summaries with deletions need
+// memory ~linear in ymax. This module implements the reduction itself as a
+// two-party protocol simulation:
+//   * Alice inserts (1 + a_i, i) with weight +1 for each bit a_i of her
+//     number (a_1 = most significant);
+//   * Bob inserts (1 + b_i, i) with weight -1;
+//   * the smallest tau with f_tau > 0 is the first index where the binary
+//     representations disagree, and the disagreeing bit decides the
+//     comparison.
+// The "algorithm state" shipped between the parties is an array of
+// per-prefix turnstile AMS sketches — a deliberately single-pass, correct
+// summary whose size is Theta(ymax * polylog), exhibiting exactly the
+// linear-in-ymax communication the lower bound says is unavoidable at one
+// pass. bench_greater_than measures that growth.
+#ifndef CASTREAM_CORE_GREATER_THAN_H_
+#define CASTREAM_CORE_GREATER_THAN_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace castream {
+
+/// \brief Outcome of the simulated protocol.
+struct GreaterThanOutcome {
+  /// -1: a < b; 0: a == b; +1: a > b.
+  int comparison = 0;
+  /// Index (1-based, MSB first) of the first disagreeing bit; 0 if equal.
+  uint32_t first_disagreement = 0;
+  /// Total bytes of algorithm state shipped Alice -> Bob -> Alice.
+  size_t bytes_communicated = 0;
+  /// Message rounds (2 for the single-pass protocol).
+  uint32_t rounds = 0;
+};
+
+/// \brief Two-party GREATER-THAN via the paper's correlated-aggregate
+/// stream construction.
+class GreaterThanProtocol {
+ public:
+  /// \brief Compares r-bit numbers a and b (bits > 0, <= 63); `seed` fixes
+  /// the shared randomness both parties agreed on in advance.
+  static Result<GreaterThanOutcome> Compare(uint64_t a, uint64_t b,
+                                            uint32_t bits, uint64_t seed);
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_CORE_GREATER_THAN_H_

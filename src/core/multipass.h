@@ -1,0 +1,174 @@
+// MULTIPASS (Section 4.2, Algorithm 4): correlated aggregation over
+// turnstile streams (positive and negative weights) using O(log ymax)
+// sequential passes and small space.
+//
+// The single-pass lower bound of Section 4.1 (see greater_than.h) rules out
+// small-space one-pass summaries once deletions are allowed; MULTIPASS
+// matches it from above. One pass estimates f over the whole y range; then
+// r = O(log_{1+eps} fmax) parallel binary searches, one per power of
+// (1+eps), locate positions p(i) with
+//     f_{p(i)} >= (1-eps)(1+eps)^i   and   f_{p(i)-1} <= (1+eps)^i
+// using a fresh filtered sketch per (position, pass) — all sharing the same
+// fixed randomness (factory), as Algorithm 4 line 2 requires. A query tau
+// returns (1+eps)^i for the largest i with p(i) <= tau.
+//
+// Scope note: QUERY-RESPONSE's guarantee (Theorem 7) uses monotonicity of
+// f_tau in tau ("since tau >= p(i), f_tau >= f_{p(i)}"); with arbitrary
+// deletions prefix aggregates need not be monotone, in which case the
+// binary-search postconditions still hold but the query bound applies only
+// at the crossing points. Tests exercise monotone turnstile instances.
+#ifndef CASTREAM_CORE_MULTIPASS_H_
+#define CASTREAM_CORE_MULTIPASS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/core/correlated_sketch.h"
+#include "src/core/dyadic.h"
+#include "src/stream/tape.h"
+
+namespace castream {
+
+/// \brief Tunables for MultipassEstimator.
+struct MultipassOptions {
+  /// Approximation factor of Query: output in [(1-eps) f, (1+eps)^2 f].
+  double eps = 0.2;
+  /// y domain is [0, y_max] (rounded up to 2^beta - 1 internally).
+  uint64_t y_max = (uint64_t{1} << 16) - 1;
+  /// Sketch accuracy used for the one-sided estimates; should be <= eps/3
+  /// for the (1+eps) endpoint guarantees of Theorem 7.
+  double sketch_eps = 0.05;
+};
+
+/// \brief O(log ymax)-pass estimator of prefix aggregates f_tau over a
+/// stored turnstile stream.
+///
+/// \tparam Factory a SketchFamilyFactory whose sketches are *linear* (accept
+/// negative weights), e.g. AmsF2SketchFactory (g = x^2) or L1SketchFactory
+/// (g = |x|).
+template <SketchFamilyFactory Factory>
+class MultipassEstimator {
+ public:
+  MultipassEstimator(const MultipassOptions& options, Factory factory)
+      : options_(options), factory_(std::move(factory)),
+        y_max_(RoundUpToDyadicDomain(options.y_max)) {}
+
+  /// \brief Executes Algorithm 4 against the tape: 1 + log2(ymax+1) passes.
+  Status Run(const StoredStream& tape) {
+    positions_.clear();
+    // Pass 1 (Algorithm 4 line 3): one-sided estimate of f over all of
+    // [0, ymax].
+    {
+      auto total = factory_.Create();
+      tape.Scan([&](const WeightedTuple& t) { total.Insert(t.x, t.weight); });
+      f_top_ = OneSided(total.Estimate());
+      sketch_bytes_ = 2 * total.SizeBytes();
+    }
+    if (f_top_ < 1.0) {  // empty net stream: all queries answer 0
+      ran_ = true;
+      return Status::OK();
+    }
+
+    // Algorithm 4 line 4: r = ceil(log_{1+eps} f_top).
+    const double log1p_eps = std::log1p(options_.eps);
+    const int r = static_cast<int>(
+        std::ceil(std::log(std::max(1.0, f_top_)) / log1p_eps));
+    positions_.assign(static_cast<size_t>(r) + 1, (y_max_ - 1) / 2);
+
+    // Lines 7-11: lockstep binary searches, one pass per depth. Each pass
+    // scans the tape once and feeds r+1 filtered sketches.
+    const int depth = CeilLog2(y_max_ + 1);
+    for (int j = 2; j <= depth; ++j) {
+      std::vector<double> estimates = EstimateAtPositions(tape);
+      const uint64_t step = (y_max_ + 1) >> j;
+      for (size_t i = 0; i < positions_.size(); ++i) {
+        if (estimates[i] > Threshold(i)) {
+          positions_[i] -= step;
+        } else {
+          positions_[i] += step;
+        }
+      }
+    }
+    // Line 11 (the post-correction): one more pass to evaluate the final
+    // positions; f_hat < (1+eps)^i means the crossing is one step right.
+    std::vector<double> estimates = EstimateAtPositions(tape);
+    for (size_t i = 0; i < positions_.size(); ++i) {
+      if (estimates[i] < Threshold(i)) positions_[i] += 1;
+    }
+    ran_ = true;
+    return Status::OK();
+  }
+
+  /// \brief QUERY-RESPONSE: (1+eps)^i for the largest i with p(i) <= tau;
+  /// 0 when no power-of-(1+eps) level is reached by the prefix.
+  Result<double> Query(uint64_t tau) const {
+    if (!ran_) {
+      return Status::PreconditionFailed("MultipassEstimator: call Run first");
+    }
+    double best = 0.0;
+    for (size_t i = 0; i < positions_.size(); ++i) {
+      if (positions_[i] <= tau) best = Threshold(i);
+    }
+    return best;
+  }
+
+  /// \brief The output positions p(0..r) (Algorithm 4 line 12).
+  const std::vector<uint64_t>& positions() const { return positions_; }
+
+  /// \brief Peak working-set bytes: the r+1 concurrent sketches of the last
+  /// pass (actual sizes — lazily densified sketches stay small when their
+  /// prefix holds little data) plus the position array.
+  size_t WorkingSetBytes() const {
+    return sketch_bytes_ + positions_.size() * sizeof(uint64_t);
+  }
+
+ private:
+  double Threshold(size_t i) const {
+    return std::pow(1.0 + options_.eps, static_cast<double>(i));
+  }
+
+  /// \brief Converts the factory's two-sided (eps', .) estimate into the
+  /// one-sided form f <= f_hat <= (1+eps) f needed by Algorithm 4 line 1
+  /// (valid when sketch_eps <= eps/3).
+  double OneSided(double two_sided) const {
+    return two_sided / (1.0 - options_.sketch_eps);
+  }
+
+  /// \brief One pass: estimates f_{p(i)} for every current position.
+  std::vector<double> EstimateAtPositions(const StoredStream& tape) {
+    std::vector<decltype(factory_.Create())> sketches;
+    sketches.reserve(positions_.size());
+    for (size_t i = 0; i < positions_.size(); ++i) {
+      sketches.push_back(factory_.Create());
+    }
+    tape.Scan([&](const WeightedTuple& t) {
+      for (size_t i = 0; i < positions_.size(); ++i) {
+        if (t.y <= positions_[i]) sketches[i].Insert(t.x, t.weight);
+      }
+    });
+    std::vector<double> out(positions_.size());
+    size_t pass_bytes = 0;
+    for (size_t i = 0; i < positions_.size(); ++i) {
+      out[i] = OneSided(sketches[i].Estimate());
+      pass_bytes += sketches[i].SizeBytes();
+    }
+    sketch_bytes_ = std::max(sketch_bytes_, pass_bytes);
+    return out;
+  }
+
+  MultipassOptions options_;
+  Factory factory_;
+  uint64_t y_max_;
+  double f_top_ = 0.0;
+  bool ran_ = false;
+  std::vector<uint64_t> positions_;
+  size_t sketch_bytes_ = 0;
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_CORE_MULTIPASS_H_

@@ -1,0 +1,101 @@
+// Configuration of the generic correlated-aggregation framework (Section 2).
+#ifndef CASTREAM_CORE_OPTIONS_H_
+#define CASTREAM_CORE_OPTIONS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+#include "src/common/bit_util.h"
+
+namespace castream {
+
+/// \brief How the per-level bucket budget alpha is chosen.
+enum class BudgetPolicy {
+  /// The paper's formula alpha = 64 * c1(log ymax) / c2(eps/2). Gives the
+  /// provable (eps, delta) guarantee but is astronomically large for Fk
+  /// (use only with toy parameters, e.g. in tests of the proof machinery).
+  kTheoretical,
+  /// alpha = ceil(kappa / eps^2): the practical choice the paper's own
+  /// experiments imply (their measured sketch sizes fit only this scale);
+  /// keeps the eps^-4 total-space shape of Figure 2 for F2.
+  kPractical,
+};
+
+/// \brief The "smoothness" functions of Conditions III and IV (Section 2)
+/// for the aggregate being estimated; used by BudgetPolicy::kTheoretical.
+///
+/// c1: if f(R_i) <= a for j sets, then f(union R_i) <= c1(j) * a.
+/// c2: if f(B) <= c2(eps) * f(A), B subset of A, then
+///     f(A - B) >= (1 - eps) * f(A).
+/// Defaults are the Fk bounds of Lemmas 6 and 8 with k = 2:
+/// c1(j) = j^k and c2(eps) = (eps / (9k))^k.
+struct AggregateConditions {
+  std::function<double(double)> c1 = [](double j) { return j * j; };
+  std::function<double(double)> c2 = [](double eps) {
+    const double t = eps / 18.0;
+    return t * t;
+  };
+
+  /// \brief Conditions for Fk (Lemmas 6 and 8).
+  static AggregateConditions ForFk(double k) {
+    AggregateConditions cond;
+    cond.c1 = [k](double j) { return std::pow(j, k); };
+    cond.c2 = [k](double eps) { return std::pow(eps / (9.0 * k), k); };
+    return cond;
+  }
+};
+
+/// \brief Tunables of CorrelatedSketch (Algorithms 1-3 of the paper).
+struct CorrelatedSketchOptions {
+  /// Target relative error of Query (Definition 1).
+  double eps = 0.1;
+  /// Target failure probability of Query (Definition 1).
+  double delta = 0.05;
+  /// y values live in [0, y_max]; rounded up internally to 2^beta - 1.
+  uint64_t y_max = (uint64_t{1} << 20) - 1;
+  /// Upper bound on the aggregate over any stream prefix; fixes the number
+  /// of levels via 2^lmax > f_max (Condition I makes this logarithmic).
+  double f_max_hint = 1e12;
+  /// Bucket budget policy (see BudgetPolicy).
+  BudgetPolicy budget_policy = BudgetPolicy::kPractical;
+  /// kappa in alpha = ceil(kappa / eps^2) under kPractical. The default was
+  /// calibrated empirically (tests/correlated_sketch_test.cc): the query's
+  /// boundary error — mass in buckets straddling the cutoff, bounded by
+  /// Lemma 4 — shrinks like 1/alpha, and kappa = 8 keeps it within eps/2
+  /// across the paper's workloads while total space stays at the scale the
+  /// paper's Figure 2 reports.
+  double practical_kappa = 8.0;
+  /// Nonzero: use exactly this alpha, overriding the policy.
+  uint32_t alpha_override = 0;
+  /// Run the bucket-closing estimate test every this many inserts into a
+  /// bucket. 1 for sketches with O(depth) Estimate (AMS); larger for
+  /// sketches with expensive estimates (FkSketch), trading a bounded
+  /// overshoot of the 2^(l+1) closing threshold for update speed.
+  uint32_t est_check_interval = 1;
+  /// Smoothness conditions used when budget_policy == kTheoretical.
+  AggregateConditions conditions;
+
+  /// \brief Levels lmax such that 2^lmax > f_max_hint (Algorithm 1).
+  uint32_t MaxLevel() const {
+    double lm = std::ceil(std::log2(std::max(2.0, f_max_hint))) + 1.0;
+    return static_cast<uint32_t>(std::min(lm, 62.0));
+  }
+
+  /// \brief Per-level bucket budget alpha.
+  uint32_t Alpha() const {
+    if (alpha_override != 0) return alpha_override;
+    if (budget_policy == BudgetPolicy::kTheoretical) {
+      const double log_ymax =
+          std::max(1.0, std::log2(static_cast<double>(y_max) + 2.0));
+      const double a = 64.0 * conditions.c1(log_ymax) / conditions.c2(eps / 2.0);
+      return static_cast<uint32_t>(std::min(a, 1e9));
+    }
+    const double a = std::ceil(practical_kappa / (eps * eps));
+    return static_cast<uint32_t>(std::max(8.0, std::min(a, 1e7)));
+  }
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_CORE_OPTIONS_H_

@@ -1,0 +1,118 @@
+// Hash families with provable independence guarantees.
+//
+// The sketches in CAStream need hash functions at two independence levels:
+//   * 2-wise (pairwise) — bucket assignment in CountSketch/AMS rows;
+//   * 4-wise            — the +/-1 sign hash in AMS/CountSketch, which drives
+//                         the variance bound of the F2 estimator ([1], [29]).
+// Both are provided by Carter–Wegman polynomial hashing over the Mersenne
+// prime p = 2^61 - 1 (a degree-(k-1) random polynomial is k-wise
+// independent). Tabulation hashing (Thorup–Zhang [29]) is provided as the
+// fast path: simple tabulation is 3-independent yet behaves like full
+// randomness in the AMS application, which is exactly the observation the
+// paper uses to speed up per-record processing (Section 3.1, Lemma 9).
+#ifndef CASTREAM_HASH_HASH_FAMILY_H_
+#define CASTREAM_HASH_HASH_FAMILY_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/random.h"
+
+namespace castream {
+
+/// \brief The Mersenne prime 2^61 - 1 used for polynomial hashing.
+inline constexpr uint64_t kMersenne61 = (uint64_t{1} << 61) - 1;
+
+/// \brief Reduces a 128-bit product modulo 2^61 - 1.
+inline uint64_t Mod61(unsigned __int128 x) {
+  uint64_t lo = static_cast<uint64_t>(x & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t s = lo + hi;
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
+
+/// \brief Multiply-add modulo 2^61 - 1: (a*x + b) mod p.
+inline uint64_t MulAddMod61(uint64_t a, uint64_t x, uint64_t b) {
+  unsigned __int128 prod = static_cast<unsigned __int128>(a) * x + b;
+  return Mod61(prod);
+}
+
+/// \brief k-wise independent hash via a random degree-(k-1) polynomial over
+/// GF(2^61 - 1). Values are uniform in [0, 2^61 - 2].
+template <int kIndependence>
+class PolynomialHash {
+  static_assert(kIndependence >= 2, "need at least pairwise independence");
+
+ public:
+  /// \brief Draws random coefficients from `seeder`. The leading coefficient
+  /// is forced nonzero so the polynomial has full degree.
+  explicit PolynomialHash(SplitMix64& seeder) {
+    for (int i = 0; i < kIndependence; ++i) {
+      coeff_[i] = seeder.Next() % kMersenne61;
+    }
+    if (coeff_[kIndependence - 1] == 0) coeff_[kIndependence - 1] = 1;
+  }
+
+  uint64_t operator()(uint64_t x) const {
+    uint64_t xm = x % kMersenne61;
+    uint64_t acc = coeff_[kIndependence - 1];
+    for (int i = kIndependence - 2; i >= 0; --i) {
+      acc = MulAddMod61(acc, xm, coeff_[i]);
+    }
+    return acc;
+  }
+
+ private:
+  std::array<uint64_t, kIndependence> coeff_;
+};
+
+using TwoWiseHash = PolynomialHash<2>;
+using FourWiseHash = PolynomialHash<4>;
+
+/// \brief Simple tabulation hashing over 8 byte-characters (Thorup–Zhang).
+///
+/// 3-independent, and with much stronger concentration properties than its
+/// formal independence suggests; one instance owns 16 KiB of tables, so
+/// structures that need thousands of sketches share instances through
+/// std::shared_ptr (see SketchFactory types in src/sketch).
+class TabulationHash {
+ public:
+  explicit TabulationHash(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& table : tables_) {
+      for (auto& entry : table) entry = sm.Next();
+    }
+  }
+
+  uint64_t operator()(uint64_t x) const {
+    uint64_t h = 0;
+    for (int i = 0; i < 8; ++i) {
+      h ^= tables_[i][static_cast<uint8_t>(x >> (8 * i))];
+    }
+    return h;
+  }
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> tables_;
+};
+
+/// \brief Stateless 64-bit finalizer (murmur3-style avalanche) keyed by a
+/// seed. Used where speed matters and formal independence does not (e.g.
+/// assigning items to subsampling levels in distinct samplers, where the
+/// analysis in [20] tolerates pairwise independence that the caller can get
+/// by composing with PolynomialHash).
+inline uint64_t MixHash64(uint64_t x, uint64_t seed) {
+  uint64_t h = x + 0x9e3779b97f4a7c15ULL * (seed + 1);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace castream
+
+#endif  // CASTREAM_HASH_HASH_FAMILY_H_

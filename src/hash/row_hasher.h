@@ -1,0 +1,68 @@
+// Per-row (bucket, sign) hashing shared by AMS-F2 and CountSketch rows.
+#ifndef CASTREAM_HASH_ROW_HASHER_H_
+#define CASTREAM_HASH_ROW_HASHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bit_util.h"
+#include "src/common/random.h"
+#include "src/hash/hash_family.h"
+
+namespace castream {
+
+/// \brief Hashes an item to a counter index in [0, width) and a sign in
+/// {-1, +1} for one sketch row.
+///
+/// The bucket hash is pairwise independent and the sign hash 4-wise
+/// independent, which is what the second-moment analysis of AMS [1] and
+/// CountSketch [8] requires. Width must be a power of two.
+class RowHasher {
+ public:
+  RowHasher(SplitMix64& seeder, uint32_t width)
+      : bucket_hash_(seeder), sign_hash_(seeder), mask_(width - 1) {}
+
+  uint32_t Bucket(uint64_t x) const {
+    return static_cast<uint32_t>(bucket_hash_(x) & mask_);
+  }
+
+  /// \brief +1 or -1 with 4-wise independence across items.
+  int64_t Sign(uint64_t x) const {
+    return ((sign_hash_(x) >> 60) & 1) ? int64_t{1} : int64_t{-1};
+  }
+
+ private:
+  TwoWiseHash bucket_hash_;
+  FourWiseHash sign_hash_;
+  uint64_t mask_;
+};
+
+/// \brief Immutable bundle of RowHashers for a depth x width sketch layout.
+///
+/// One HashSet is built per sketch *family* and shared (shared_ptr) by every
+/// sketch instance in the family: sketches must agree on hash functions to be
+/// mergeable (property (b) of sketching functions, Section 2 of the paper),
+/// and sharing keeps the per-bucket footprint equal to the counter array.
+class RowHashSet {
+ public:
+  /// \brief Builds `depth` independent rows over counters of size `width`
+  /// (width must be a power of two).
+  RowHashSet(uint64_t seed, uint32_t depth, uint32_t width)
+      : width_(width) {
+    SplitMix64 seeder(seed);
+    rows_.reserve(depth);
+    for (uint32_t d = 0; d < depth; ++d) rows_.emplace_back(seeder, width);
+  }
+
+  const RowHasher& row(uint32_t d) const { return rows_[d]; }
+  uint32_t depth() const { return static_cast<uint32_t>(rows_.size()); }
+  uint32_t width() const { return width_; }
+
+ private:
+  std::vector<RowHasher> rows_;
+  uint32_t width_;
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_HASH_ROW_HASHER_H_

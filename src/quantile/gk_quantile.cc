@@ -1,0 +1,91 @@
+#include "src/quantile/gk_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace castream {
+
+GkQuantileSummary::GkQuantileSummary(double eps)
+    : eps_(eps <= 0.0 || eps >= 1.0 ? 0.01 : eps) {}
+
+void GkQuantileSummary::Insert(uint64_t value) {
+  // Find insertion position (tuples_ sorted by v).
+  auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](const Tuple& t, uint64_t v) { return t.v < v; });
+
+  uint64_t delta;
+  if (it == tuples_.begin() || it == tuples_.end()) {
+    // New minimum or maximum: rank is known exactly.
+    delta = 0;
+  } else {
+    delta = static_cast<uint64_t>(
+        std::max(0.0, std::floor(2.0 * eps_ * static_cast<double>(count_)) - 1.0));
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+  ++count_;
+
+  if (++since_compress_ >= static_cast<uint64_t>(1.0 / (2.0 * eps_)) + 1) {
+    Compress();
+    since_compress_ = 0;
+  }
+}
+
+void GkQuantileSummary::Compress() {
+  if (tuples_.size() < 3) return;
+  const double threshold = 2.0 * eps_ * static_cast<double>(count_);
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  out.push_back(tuples_.front());
+  // Merge tuple i into its successor when their combined uncertainty stays
+  // within the 2*eps*n band; the last tuple (maximum) is always kept.
+  for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+    const Tuple& cur = tuples_[i];
+    const Tuple& next = tuples_[i + 1];
+    if (static_cast<double>(cur.g + next.g + next.delta) <= threshold) {
+      // Merge: fold cur's g into next (done by mutating a copy on the input
+      // side so subsequent merges see the accumulated g).
+      tuples_[i + 1].g += cur.g;
+    } else {
+      out.push_back(cur);
+    }
+  }
+  out.push_back(tuples_.back());
+  tuples_ = std::move(out);
+}
+
+Result<uint64_t> GkQuantileSummary::Query(double phi) const {
+  if (tuples_.empty()) {
+    return Status::QueryOutOfRange("GkQuantileSummary::Query on empty summary");
+  }
+  if (phi < 0.0 || phi > 1.0) {
+    return Status::InvalidArgument("quantile phi must be in [0, 1]");
+  }
+  // Standard GK lookup: return the last tuple v_i such that the next
+  // tuple's maximum possible rank still fits under r + eps*n; with the
+  // summary invariant g_i + delta_i <= 2*eps*n this guarantees the true
+  // rank of the answer is within eps*n of r.
+  const double r = phi * static_cast<double>(count_);
+  const double bound = r + eps_ * static_cast<double>(count_);
+  uint64_t rank_min = 0;
+  for (size_t i = 0; i + 1 < tuples_.size(); ++i) {
+    rank_min += tuples_[i].g;
+    const double next_rank_max = static_cast<double>(
+        rank_min + tuples_[i + 1].g + tuples_[i + 1].delta);
+    if (next_rank_max > bound) return tuples_[i].v;
+  }
+  return tuples_.back().v;
+}
+
+double GkQuantileSummary::EstimateRank(uint64_t value) const {
+  uint64_t rank_min = 0;
+  uint64_t prev = 0;
+  for (const Tuple& t : tuples_) {
+    if (t.v > value) break;
+    rank_min += t.g;
+    prev = rank_min;
+  }
+  return static_cast<double>(prev);
+}
+
+}  // namespace castream

@@ -1,0 +1,60 @@
+// Greenwald-Khanna quantile summary [21].
+//
+// Role in this repository: the paper's drill-down workflow (Section 1)
+// pairs a correlated-aggregate summary with a whole-stream quantile summary
+// over the y dimension, so the analyst can first ask "what is the median
+// flow size?" and then use the answer as the cutoff c of a correlated
+// query. This is that quantile summary.
+#ifndef CASTREAM_QUANTILE_GK_QUANTILE_H_
+#define CASTREAM_QUANTILE_GK_QUANTILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace castream {
+
+/// \brief Deterministic eps-approximate quantile summary: Query(phi)
+/// returns a value whose rank is within eps*n of phi*n.
+class GkQuantileSummary {
+ public:
+  /// \brief eps in (0, 1); space is O((1/eps) * log(eps * n)).
+  explicit GkQuantileSummary(double eps);
+
+  /// \brief Observes one value. Amortized O(log(1/eps) + log log n).
+  void Insert(uint64_t value);
+
+  /// \brief Value whose rank is within eps*n of ceil(phi*n), phi in [0, 1].
+  /// Fails on an empty summary or phi outside [0, 1].
+  Result<uint64_t> Query(double phi) const;
+
+  /// \brief Rank estimate for `value` (count of items <= value), with
+  /// additive error eps*n.
+  double EstimateRank(uint64_t value) const;
+
+  uint64_t count() const { return count_; }
+  size_t TupleCount() const { return tuples_.size(); }
+  size_t SizeBytes() const { return tuples_.size() * sizeof(Tuple); }
+
+ private:
+  // One GK tuple: value v, g = rank(v) - rank(previous v), delta = maximum
+  // over-count of v's rank.
+  struct Tuple {
+    uint64_t v;
+    uint64_t g;
+    uint64_t delta;
+  };
+
+  void Compress();
+
+  double eps_;
+  uint64_t count_ = 0;
+  uint64_t since_compress_ = 0;
+  std::vector<Tuple> tuples_;  // sorted by v
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_QUANTILE_GK_QUANTILE_H_

@@ -1,0 +1,218 @@
+// AMS second frequency moment sketch, Thorup-Zhang fast variant.
+//
+// The classic Alon-Matias-Szegedy estimator [1] keeps w counters per row,
+// each item hashed to one counter with a 4-wise independent sign; the row
+// estimate is the sum of squared counters. Thorup and Zhang [29] observed
+// that hashing each item to a *single* counter per row (instead of adding a
+// sign to every counter) preserves the variance bound and makes updates
+// O(depth). This is exactly the variant the paper uses in its F2 experiments
+// (Section 5.1).
+//
+// The sketch is linear in the input, so it supports negative weights
+// (turnstile updates, Section 4) and merging by counter addition (property
+// (b) of sketching functions, Section 2).
+//
+// Lazy densification: a new sketch stores exact (item, weight) entries until
+// their count exceeds ~width*depth/8 and only then materializes the counter
+// matrix. The correlated framework instantiates thousands of per-bucket
+// sketches whose buckets close at mass 2^(l+1) — at low levels they hold a
+// handful of items, and the sparse mode keeps them at a few entries instead
+// of a full counter matrix (the same technique production sketch libraries
+// use). While sparse, Estimate() is exact.
+#ifndef CASTREAM_SKETCH_AMS_F2_H_
+#define CASTREAM_SKETCH_AMS_F2_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/hash/row_hasher.h"
+#include "src/sketch/counter_matrix.h"
+#include "src/sketch/sketch_params.h"
+
+namespace castream {
+
+class AmsF2Sketch;
+
+/// \brief Factory producing mergeable AmsF2Sketch instances that share one
+/// immutable set of hash functions.
+///
+/// Sketches from different factories (different seeds or dimensions) must
+/// not be merged; AmsF2Sketch::MergeFrom reports PreconditionFailed in that
+/// case. Sharing the hash set keeps the marginal cost of a sketch equal to
+/// its counter storage, which matters because the correlated framework
+/// instantiates thousands of per-bucket sketches.
+class AmsF2SketchFactory {
+ public:
+  AmsF2SketchFactory(SketchDims dims, uint64_t seed)
+      : hashes_(std::make_shared<RowHashSet>(seed, dims.depth, dims.width)) {}
+
+  /// \brief Convenience: dimensions derived from an accuracy target.
+  AmsF2SketchFactory(double eps, double delta, uint64_t seed)
+      : AmsF2SketchFactory(AmsDimsFor(eps, delta), seed) {}
+
+  /// \brief New empty sketch of this family (starts in sparse mode).
+  AmsF2Sketch Create() const;
+
+  uint32_t depth() const { return hashes_->depth(); }
+  uint32_t width() const { return hashes_->width(); }
+
+ private:
+  friend class AmsF2Sketch;
+  std::shared_ptr<const RowHashSet> hashes_;
+};
+
+/// \brief Mergeable (eps, delta) estimator of F2 = sum_i f_i^2 over item
+/// frequencies f_i, supporting integer-weighted (including negative) updates.
+class AmsF2Sketch {
+ public:
+  /// \brief Adds `weight` to item x's frequency. O(depth) dense; O(entries)
+  /// sparse (entries are few and contiguous by construction).
+  void Insert(uint64_t x, int64_t weight) {
+    count_ += weight;
+    if (!counters_.has_value()) {
+      InsertSparse(x, weight);
+      return;
+    }
+    InsertDense(x, weight);
+  }
+  void Insert(uint64_t x) { Insert(x, 1); }
+
+  /// \brief Median-of-rows estimate of F2 (exact while sparse). O(depth).
+  double Estimate() const {
+    if (!counters_.has_value()) return static_cast<double>(sparse_ss_);
+    const uint32_t d = counters_->depth();
+    if (d == 1) return static_cast<double>(row_ss_[0]);
+    scratch_.assign(row_ss_.begin(), row_ss_.end());
+    const size_t mid = scratch_.size() / 2;
+    std::nth_element(scratch_.begin(), scratch_.begin() + mid, scratch_.end());
+    if (scratch_.size() % 2 == 1) return static_cast<double>(scratch_[mid]);
+    int64_t lo = *std::max_element(scratch_.begin(), scratch_.begin() + mid);
+    return 0.5 * (static_cast<double>(lo) + static_cast<double>(scratch_[mid]));
+  }
+
+  /// \brief Adds another sketch of the same family into this one.
+  Status MergeFrom(const AmsF2Sketch& other) {
+    if (other.hashes_ != hashes_) {
+      return Status::PreconditionFailed(
+          "AmsF2Sketch::MergeFrom: sketches from different families");
+    }
+    if (!other.counters_.has_value()) {
+      // Replaying the other side's exact entries works into either mode.
+      for (const auto& [x, w] : other.sparse_) {
+        if (counters_.has_value()) {
+          InsertDense(x, w);
+        } else {
+          InsertSparse(x, w);
+        }
+      }
+      count_ += other.count_;
+      return Status::OK();
+    }
+    if (!counters_.has_value()) Densify();
+    counters_->AddFrom(other.counters_.value());
+    for (uint32_t d = 0; d < counters_->depth(); ++d) {
+      row_ss_[d] = counters_->RowSumSquares(d);
+    }
+    count_ += other.count_;
+    return Status::OK();
+  }
+
+  /// \brief Net weight inserted (F1 of the signed stream); used by callers
+  /// that track bucket occupancy.
+  int64_t NetCount() const { return count_; }
+
+  /// \brief True while the sketch stores exact entries (testing hook).
+  bool IsSparse() const { return !counters_.has_value(); }
+
+  size_t SizeBytes() const {
+    if (!counters_.has_value()) {
+      return sparse_.size() * sizeof(SparseEntry) + sizeof(*this);
+    }
+    return counters_->SizeBytes() + row_ss_.size() * sizeof(int64_t);
+  }
+  /// \brief Stored numbers, the "number of tuples stored" unit of
+  /// Section 5: exact entries while sparse, counter cells once dense.
+  size_t CounterCount() const {
+    if (!counters_.has_value()) return sparse_.size();
+    return counters_->CounterCount();
+  }
+
+ private:
+  friend class AmsF2SketchFactory;
+  struct SparseEntry {
+    uint64_t x;
+    int64_t w;
+  };
+
+  explicit AmsF2Sketch(std::shared_ptr<const RowHashSet> hashes)
+      : hashes_(std::move(hashes)) {}
+
+  size_t SparseCapacity() const {
+    // cells/8 keeps sparse memory at ~1/4 of the dense matrix; the 128-entry
+    // cap bounds the linear scan of InsertSparse on wide configurations.
+    const size_t cells = static_cast<size_t>(hashes_->depth()) *
+                         hashes_->width();
+    return std::clamp<size_t>(cells / 8, 16, 128);
+  }
+
+  void InsertSparse(uint64_t x, int64_t weight) {
+    for (size_t i = 0; i < sparse_.size(); ++i) {
+      SparseEntry& e = sparse_[i];
+      if (e.x == x) {
+        // (w+d)^2 - w^2 maintains the exact sum of squares incrementally.
+        sparse_ss_ += 2 * e.w * weight + weight * weight;
+        e.w += weight;
+        // Transpose heuristic: hot items drift toward the front, keeping
+        // the linear scan short on skewed streams.
+        if (i > 0) std::swap(sparse_[i], sparse_[i - 1]);
+        return;
+      }
+    }
+    sparse_.push_back(SparseEntry{x, weight});
+    sparse_ss_ += weight * weight;
+    if (sparse_.size() > SparseCapacity()) Densify();
+  }
+
+  void InsertDense(uint64_t x, int64_t weight) {
+    const RowHashSet& h = *hashes_;
+    for (uint32_t d = 0; d < h.depth(); ++d) {
+      const RowHasher& row = h.row(d);
+      const int64_t delta = row.Sign(x) * weight;
+      const int64_t old = counters_->AddAndReturnOld(d, row.Bucket(x), delta);
+      // (c+delta)^2 - c^2 = 2*c*delta + delta^2, so the row sum of squares
+      // can be maintained in O(1) — this is what makes Estimate() cheap
+      // enough for the per-insert bucket-closing test in Algorithm 2.
+      row_ss_[d] += 2 * old * delta + delta * delta;
+    }
+  }
+
+  void Densify() {
+    counters_.emplace(hashes_->depth(), hashes_->width());
+    row_ss_.assign(hashes_->depth(), 0);
+    for (const SparseEntry& e : sparse_) InsertDense(e.x, e.w);
+    sparse_.clear();
+    sparse_.shrink_to_fit();
+    sparse_ss_ = 0;
+  }
+
+  std::shared_ptr<const RowHashSet> hashes_;
+  std::optional<CounterMatrix> counters_;  // nullopt while sparse
+  std::vector<int64_t> row_ss_;            // dense mode: per-row sum-squares
+  std::vector<SparseEntry> sparse_;        // sparse mode: exact entries
+  int64_t sparse_ss_ = 0;                  // sparse mode: exact F2
+  int64_t count_ = 0;
+  mutable std::vector<int64_t> scratch_;
+};
+
+inline AmsF2Sketch AmsF2SketchFactory::Create() const {
+  return AmsF2Sketch(hashes_);
+}
+
+}  // namespace castream
+
+#endif  // CASTREAM_SKETCH_AMS_F2_H_

@@ -1,0 +1,193 @@
+// CountSketch (Charikar-Chen-Farach-Colton [8]): per-item frequency
+// estimation with additive error ~sqrt(F2/width). Used by the correlated
+// F2-heavy-hitters structure of Section 3.3, where every dyadic bucket
+// carries a CountSketch alongside its AMS sketch.
+//
+// Like AmsF2Sketch, a new CountSketch stores exact (item, weight) entries
+// ("sparse mode") until their count exceeds ~width*depth/8 (capped), then
+// materializes the counter matrix. Low-level dyadic buckets close after a
+// handful of items, so sparse mode keeps the thousands of per-bucket
+// sketches small — and exact.
+#ifndef CASTREAM_SKETCH_COUNT_SKETCH_H_
+#define CASTREAM_SKETCH_COUNT_SKETCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hash/row_hasher.h"
+#include "src/sketch/counter_matrix.h"
+#include "src/sketch/sketch_params.h"
+
+namespace castream {
+
+class CountSketch;
+
+/// \brief Factory producing mergeable CountSketch instances sharing one hash
+/// set (see AmsF2SketchFactory for the rationale).
+class CountSketchFactory {
+ public:
+  CountSketchFactory(SketchDims dims, uint64_t seed)
+      : hashes_(std::make_shared<RowHashSet>(seed, dims.depth, dims.width)) {}
+
+  CountSketchFactory(double eps, double delta, uint64_t seed)
+      : CountSketchFactory(CountSketchDimsFor(eps, delta), seed) {}
+
+  CountSketch Create() const;
+
+  uint32_t depth() const { return hashes_->depth(); }
+  uint32_t width() const { return hashes_->width(); }
+
+ private:
+  friend class CountSketch;
+  std::shared_ptr<const RowHashSet> hashes_;
+};
+
+/// \brief Linear sketch answering point queries f_x with additive error
+/// sqrt(F2/width) per row, median over rows; supports negative weights and
+/// merging within a family.
+class CountSketch {
+ public:
+  /// \brief Adds `weight` to item x's frequency.
+  void Insert(uint64_t x, int64_t weight = 1) {
+    if (!counters_.has_value()) {
+      InsertSparse(x, weight);
+      return;
+    }
+    InsertDense(x, weight);
+  }
+
+  /// \brief Estimate of item x's frequency (exact while sparse).
+  double EstimateFrequency(uint64_t x) const {
+    if (!counters_.has_value()) {
+      for (const SparseEntry& e : sparse_) {
+        if (e.x == x) return static_cast<double>(e.w);
+      }
+      return 0.0;
+    }
+    const RowHashSet& h = *hashes_;
+    scratch_.clear();
+    for (uint32_t d = 0; d < h.depth(); ++d) {
+      const RowHasher& row = h.row(d);
+      scratch_.push_back(
+          static_cast<double>(row.Sign(x) * counters_->at(d, row.Bucket(x))));
+    }
+    return MedianOfScratch();
+  }
+
+  /// \brief Median-of-rows estimate of F2 of the inserted frequencies (a
+  /// CountSketch row is an AMS row, so the row sum of squares estimates F2).
+  /// Callers use it as a noise scale: point estimates carry additive error
+  /// ~sqrt(F2/width). Exact while sparse.
+  double EstimateF2() const {
+    if (!counters_.has_value()) {
+      double ss = 0.0;
+      for (const SparseEntry& e : sparse_) {
+        ss += static_cast<double>(e.w) * static_cast<double>(e.w);
+      }
+      return ss;
+    }
+    scratch_.clear();
+    for (uint32_t d = 0; d < counters_->depth(); ++d) {
+      scratch_.push_back(static_cast<double>(counters_->RowSumSquares(d)));
+    }
+    return MedianOfScratch();
+  }
+
+  Status MergeFrom(const CountSketch& other) {
+    if (other.hashes_ != hashes_) {
+      return Status::PreconditionFailed(
+          "CountSketch::MergeFrom: sketches from different families");
+    }
+    if (!other.counters_.has_value()) {
+      for (const SparseEntry& e : other.sparse_) Insert(e.x, e.w);
+      return Status::OK();
+    }
+    if (!counters_.has_value()) Densify();
+    counters_->AddFrom(other.counters_.value());
+    return Status::OK();
+  }
+
+  bool IsSparse() const { return !counters_.has_value(); }
+
+  size_t SizeBytes() const {
+    if (!counters_.has_value()) {
+      return sparse_.size() * sizeof(SparseEntry) + sizeof(*this);
+    }
+    return counters_->SizeBytes();
+  }
+  size_t CounterCount() const {
+    if (!counters_.has_value()) return sparse_.size();
+    return counters_->CounterCount();
+  }
+
+ private:
+  friend class CountSketchFactory;
+  struct SparseEntry {
+    uint64_t x;
+    int64_t w;
+  };
+
+  explicit CountSketch(std::shared_ptr<const RowHashSet> hashes)
+      : hashes_(std::move(hashes)) {}
+
+  size_t SparseCapacity() const {
+    const size_t cells =
+        static_cast<size_t>(hashes_->depth()) * hashes_->width();
+    return std::clamp<size_t>(cells / 8, 16, 128);
+  }
+
+  void InsertSparse(uint64_t x, int64_t weight) {
+    for (size_t i = 0; i < sparse_.size(); ++i) {
+      SparseEntry& e = sparse_[i];
+      if (e.x == x) {
+        e.w += weight;
+        // Transpose heuristic: hot items drift toward the front (see
+        // AmsF2Sketch::InsertSparse).
+        if (i > 0) std::swap(sparse_[i], sparse_[i - 1]);
+        return;
+      }
+    }
+    sparse_.push_back(SparseEntry{x, weight});
+    if (sparse_.size() > SparseCapacity()) Densify();
+  }
+
+  void InsertDense(uint64_t x, int64_t weight) {
+    const RowHashSet& h = *hashes_;
+    for (uint32_t d = 0; d < h.depth(); ++d) {
+      const RowHasher& row = h.row(d);
+      counters_->AddAndReturnOld(d, row.Bucket(x), row.Sign(x) * weight);
+    }
+  }
+
+  void Densify() {
+    counters_.emplace(hashes_->depth(), hashes_->width());
+    for (const SparseEntry& e : sparse_) InsertDense(e.x, e.w);
+    sparse_.clear();
+    sparse_.shrink_to_fit();
+  }
+
+  double MedianOfScratch() const {
+    const size_t mid = scratch_.size() / 2;
+    std::nth_element(scratch_.begin(), scratch_.begin() + mid, scratch_.end());
+    if (scratch_.size() % 2 == 1) return scratch_[mid];
+    double lo = *std::max_element(scratch_.begin(), scratch_.begin() + mid);
+    return 0.5 * (lo + scratch_[mid]);
+  }
+
+  std::shared_ptr<const RowHashSet> hashes_;
+  std::optional<CounterMatrix> counters_;  // nullopt while sparse
+  std::vector<SparseEntry> sparse_;
+  mutable std::vector<double> scratch_;
+};
+
+inline CountSketch CountSketchFactory::Create() const {
+  return CountSketch(hashes_);
+}
+
+}  // namespace castream
+
+#endif  // CASTREAM_SKETCH_COUNT_SKETCH_H_

@@ -1,0 +1,109 @@
+// KMV ("k minimum values") distinct-count sketch.
+//
+// Whole-stream F0 substrate: keeps the k smallest hash values seen; the k-th
+// smallest value U_(k) of n uniform points in [0, 2^64) concentrates around
+// k * 2^64 / n, giving the estimator (k-1) * 2^64 / U_(k). Mergeable by
+// keeping the k smallest of the union. This is the insertion-only F0
+// building block referenced in Section 3.2 (the correlated F0 sampler in
+// src/core/correlated_f0 uses level-based sampling instead, following
+// Gibbons-Tirthapura [20]).
+#ifndef CASTREAM_SKETCH_KMV_H_
+#define CASTREAM_SKETCH_KMV_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <set>
+
+#include "src/common/status.h"
+#include "src/hash/hash_family.h"
+
+namespace castream {
+
+class KmvSketch;
+
+/// \brief Factory for mergeable KmvSketch instances sharing one tabulation
+/// hash (sketches must hash identically to be union-mergeable).
+class KmvSketchFactory {
+ public:
+  KmvSketchFactory(uint32_t k, uint64_t seed)
+      : k_(std::max<uint32_t>(2, k)),
+        hash_(std::make_shared<TabulationHash>(seed)) {}
+
+  /// \brief k sized for a (eps, delta) estimate: k = ceil(4/eps^2) *
+  /// ceil(log2(1/delta)) smallest values (a simple practical composition of
+  /// the standard k = O(1/eps^2) bound with confidence boosting).
+  static uint32_t KForAccuracy(double eps, double delta) {
+    double base = std::ceil(4.0 / (eps * eps));
+    double boost = std::max(1.0, std::ceil(std::log2(1.0 / delta) / 2.0));
+    return static_cast<uint32_t>(base * boost);
+  }
+
+  KmvSketch Create() const;
+  uint32_t k() const { return k_; }
+
+ private:
+  friend class KmvSketch;
+  uint32_t k_;
+  std::shared_ptr<const TabulationHash> hash_;
+};
+
+/// \brief Mergeable estimator of the number of distinct items (insertion
+/// only; deletions would require the multipass machinery of Section 4).
+class KmvSketch {
+ public:
+  /// \brief Observes item x. O(log k).
+  void Insert(uint64_t x) {
+    const uint64_t h = (*hash_)(x);
+    if (values_.size() < k_) {
+      values_.insert(h);
+    } else if (h < *values_.rbegin()) {
+      // Only insert-and-trim when h is genuinely new; std::set dedups.
+      if (values_.insert(h).second) values_.erase(std::prev(values_.end()));
+    }
+  }
+
+  /// \brief Estimate of the distinct count. Exact while fewer than k
+  /// distinct hash values have been seen.
+  double Estimate() const {
+    if (values_.size() < k_) return static_cast<double>(values_.size());
+    const double kth = static_cast<double>(*values_.rbegin());
+    return (static_cast<double>(k_) - 1.0) * 0x1.0p64 / kth;
+  }
+
+  Status MergeFrom(const KmvSketch& other) {
+    if (hash_ != other.hash_ || k_ != other.k_) {
+      return Status::PreconditionFailed(
+          "KmvSketch::MergeFrom: sketches from different families");
+    }
+    for (uint64_t h : other.values_) {
+      if (values_.size() < k_) {
+        values_.insert(h);
+      } else if (h < *values_.rbegin()) {
+        if (values_.insert(h).second) values_.erase(std::prev(values_.end()));
+      }
+    }
+    return Status::OK();
+  }
+
+  size_t SizeBytes() const { return values_.size() * sizeof(uint64_t) * 3; }
+  size_t CounterCount() const { return values_.size(); }
+
+ private:
+  friend class KmvSketchFactory;
+  KmvSketch(uint32_t k, std::shared_ptr<const TabulationHash> hash)
+      : k_(k), hash_(std::move(hash)) {}
+
+  uint32_t k_;
+  std::shared_ptr<const TabulationHash> hash_;
+  std::set<uint64_t> values_;
+};
+
+inline KmvSketch KmvSketchFactory::Create() const {
+  return KmvSketch(k_, hash_);
+}
+
+}  // namespace castream
+
+#endif  // CASTREAM_SKETCH_KMV_H_

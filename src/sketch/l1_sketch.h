@@ -1,0 +1,105 @@
+// L1 (sum of |net frequency|) turnstile sketch via Indyk's stable-law
+// projections: z_i = sum_x f_x * C_i(x) with C_i(x) pseudo-random standard
+// Cauchy variates; median(|z_i|) estimates ||f||_1 because the Cauchy
+// distribution is 1-stable and median(|Cauchy|) = 1.
+//
+// Role in this repository: MULTIPASS (Section 4.2) needs a whole-stream
+// turnstile sketch A for g(x) = |x|; AMS covers g(x) = x^2 and this covers
+// the L1 case, demonstrating the generality of the multipass reduction.
+#ifndef CASTREAM_SKETCH_L1_SKETCH_H_
+#define CASTREAM_SKETCH_L1_SKETCH_H_
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <numbers>
+#include <vector>
+
+#include "src/common/math_util.h"
+#include "src/common/status.h"
+#include "src/hash/hash_family.h"
+
+namespace castream {
+
+class L1Sketch;
+
+/// \brief Factory for mergeable L1Sketch instances sharing the Cauchy seed.
+class L1SketchFactory {
+ public:
+  /// \brief `projections` controls accuracy: relative error ~ c/sqrt(r).
+  L1SketchFactory(uint32_t projections, uint64_t seed)
+      : projections_(projections), seed_(seed) {}
+
+  static uint32_t ProjectionsForAccuracy(double eps, double delta) {
+    double r = (6.0 / (eps * eps)) *
+               std::max(1.0, std::log2(1.0 / std::max(1e-12, delta)) / 2.0);
+    return static_cast<uint32_t>(std::min(r, 4096.0));
+  }
+
+  L1Sketch Create() const;
+  uint32_t projections() const { return projections_; }
+
+ private:
+  friend class L1Sketch;
+  uint32_t projections_;
+  uint64_t seed_;
+};
+
+/// \brief Mergeable turnstile estimator of L1 = sum_x |f_x|.
+class L1Sketch {
+ public:
+  /// \brief Adds `weight` (possibly negative) to item x. O(projections).
+  void Insert(uint64_t x, int64_t weight = 1) {
+    for (uint32_t i = 0; i < projections_; ++i) {
+      z_[i] += static_cast<double>(weight) * CauchyAt(x, i);
+    }
+  }
+
+  /// \brief median(|z_i|); unbiased in the median sense for ||f||_1.
+  double Estimate() const {
+    scratch_.resize(z_.size());
+    for (size_t i = 0; i < z_.size(); ++i) scratch_[i] = std::abs(z_[i]);
+    return MedianInPlace(scratch_);
+  }
+
+  Status MergeFrom(const L1Sketch& other) {
+    if (seed_ != other.seed_ || projections_ != other.projections_) {
+      return Status::PreconditionFailed(
+          "L1Sketch::MergeFrom: sketches from different families");
+    }
+    for (size_t i = 0; i < z_.size(); ++i) z_[i] += other.z_[i];
+    return Status::OK();
+  }
+
+  size_t SizeBytes() const { return z_.size() * sizeof(double); }
+  size_t CounterCount() const { return z_.size(); }
+
+ private:
+  friend class L1SketchFactory;
+  L1Sketch(uint32_t projections, uint64_t seed)
+      : projections_(projections), seed_(seed), z_(projections, 0.0) {}
+
+  /// \brief Deterministic standard-Cauchy variate for (x, projection i):
+  /// same (seed, x, i) always produces the same variate, which is what makes
+  /// two sketches of one family mergeable by addition.
+  double CauchyAt(uint64_t x, uint32_t i) const {
+    const uint64_t h = MixHash64(x, seed_ ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    // Map to (0, 1) exclusive to keep tan() finite.
+    const double u =
+        (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
+    return std::tan(std::numbers::pi * (u - 0.5));
+  }
+
+  uint32_t projections_;
+  uint64_t seed_;
+  std::vector<double> z_;
+  mutable std::vector<double> scratch_;
+};
+
+inline L1Sketch L1SketchFactory::Create() const {
+  return L1Sketch(projections_, seed_);
+}
+
+}  // namespace castream
+
+#endif  // CASTREAM_SKETCH_L1_SKETCH_H_

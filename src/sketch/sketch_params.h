@@ -1,0 +1,56 @@
+// Translation of (epsilon, delta) accuracy targets into sketch dimensions.
+#ifndef CASTREAM_SKETCH_SKETCH_PARAMS_H_
+#define CASTREAM_SKETCH_SKETCH_PARAMS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/bit_util.h"
+
+namespace castream {
+
+/// \brief Dimensions of a depth x width linear sketch.
+struct SketchDims {
+  uint32_t depth = 1;
+  uint32_t width = 16;
+};
+
+/// \brief Dimensions for an AMS-F2 sketch giving an (eps, delta) estimator.
+///
+/// One row of width w has variance <= 2*F2^2/w, so w = ceil(8/eps^2) gives a
+/// (eps, 1/4)-estimator per row [1],[29]; taking the median of
+/// O(log(1/delta)) rows boosts confidence. `depth_cap` bounds the row count:
+/// the theoretical gamma inside the correlated framework is astronomically
+/// small (delta / (4 * ymax * levels)), and capping depth is the practical
+/// choice the paper's own experiments imply (their measured space fits only
+/// a small constant number of rows).
+inline SketchDims AmsDimsFor(double eps, double delta,
+                             uint32_t depth_cap = 8) {
+  SketchDims d;
+  double w = 8.0 / (eps * eps);
+  d.width = static_cast<uint32_t>(
+      NextPow2(static_cast<uint64_t>(std::max(16.0, std::ceil(w)))));
+  double rows = std::ceil(4.0 * std::log(1.0 / std::max(1e-12, delta)));
+  d.depth = static_cast<uint32_t>(
+      std::clamp<double>(rows, 1.0, static_cast<double>(depth_cap)));
+  return d;
+}
+
+/// \brief Dimensions for a CountSketch achieving additive error
+/// eps * sqrt(F2) per point estimate with probability 1 - delta.
+inline SketchDims CountSketchDimsFor(double eps, double delta,
+                                     uint32_t depth_cap = 8) {
+  SketchDims d;
+  double w = 3.0 / (eps * eps);
+  d.width = static_cast<uint32_t>(
+      NextPow2(static_cast<uint64_t>(std::max(16.0, std::ceil(w)))));
+  double rows = std::ceil(4.0 * std::log(1.0 / std::max(1e-12, delta)));
+  d.depth = static_cast<uint32_t>(
+      std::clamp<double>(rows, 1.0, static_cast<double>(depth_cap)));
+  return d;
+}
+
+}  // namespace castream
+
+#endif  // CASTREAM_SKETCH_SKETCH_PARAMS_H_

@@ -1,0 +1,115 @@
+// Synthetic workload generators matching the paper's evaluation datasets
+// (Section 5): Uniform, Zipfian(alpha), and an Ethernet-like packet trace.
+//
+// The paper's Ethernet dataset came from LBL packet traces
+// (ita.ee.lbl.gov/html/contrib/BC.html) that are no longer hosted; the
+// EthernetTraceGenerator below is the documented substitution (DESIGN.md §4):
+// a synthetic packet stream whose x values (packet sizes) span the same
+// ~0..2000 domain the paper reports, and whose y values (millisecond
+// timestamps) arrive in self-similar bursts.
+#ifndef CASTREAM_STREAM_GENERATORS_H_
+#define CASTREAM_STREAM_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/stream/types.h"
+
+namespace castream {
+
+/// \brief Uniform-integer sampler interface for the x dimension.
+class TupleGenerator {
+ public:
+  virtual ~TupleGenerator() = default;
+
+  /// \brief Produces the next stream element.
+  virtual Tuple Next() = 0;
+
+  /// \brief Dataset name as used in the paper's figures.
+  virtual std::string_view name() const = 0;
+};
+
+/// \brief Zipfian sampler over {0..m-1} with P(i) proportional to
+/// 1/(i+1)^alpha, using Walker's alias method for O(1) sampling after O(m)
+/// setup.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t m, double alpha);
+
+  uint64_t Sample(Xoshiro256& rng) const;
+  uint64_t domain() const { return m_; }
+
+ private:
+  uint64_t m_;
+  std::vector<double> prob_;     // scaled acceptance probabilities
+  std::vector<uint32_t> alias_;  // alias targets
+};
+
+/// \brief The paper's "Uniform" dataset: x uniform over {0..x_range},
+/// y uniform over {0..y_range}.
+class UniformGenerator : public TupleGenerator {
+ public:
+  UniformGenerator(uint64_t x_range, uint64_t y_range, uint64_t seed)
+      : x_range_(x_range), y_range_(y_range), rng_(seed) {}
+
+  Tuple Next() override {
+    return Tuple{rng_.NextBounded(x_range_ + 1), rng_.NextBounded(y_range_ + 1)};
+  }
+  std::string_view name() const override { return "Uniform"; }
+
+ private:
+  uint64_t x_range_;
+  uint64_t y_range_;
+  Xoshiro256 rng_;
+};
+
+/// \brief The paper's "Zipf" datasets: x Zipfian(alpha) over {0..x_range},
+/// y uniform over {0..y_range}.
+class ZipfGenerator : public TupleGenerator {
+ public:
+  ZipfGenerator(uint64_t x_range, double alpha, uint64_t y_range,
+                uint64_t seed);
+
+  Tuple Next() override {
+    return Tuple{zipf_.Sample(rng_), rng_.NextBounded(y_range_ + 1)};
+  }
+  std::string_view name() const override { return name_; }
+
+ private:
+  ZipfDistribution zipf_;
+  uint64_t y_range_;
+  Xoshiro256 rng_;
+  std::string name_;
+};
+
+/// \brief Synthetic Ethernet packet trace: x = packet size (bytes), y =
+/// millisecond timestamp, bursty self-similar arrivals.
+class EthernetTraceGenerator : public TupleGenerator {
+ public:
+  /// \brief `y_range` caps timestamps (wraps by clamping); defaults sized so
+  /// a 2M-packet trace spans the cap like the paper's combined LAN traces.
+  EthernetTraceGenerator(uint64_t y_range, uint64_t seed)
+      : y_range_(y_range), rng_(seed) {}
+
+  Tuple Next() override;
+  std::string_view name() const override { return "Ethernet"; }
+
+ private:
+  uint64_t y_range_;
+  Xoshiro256 rng_;
+  uint64_t clock_ms_ = 0;
+};
+
+/// \brief The four evaluation datasets of Section 5 with the paper's domain
+/// parameters, in the paper's order. `f0_domains`: the F0 experiments widen
+/// the x domain to 0..1e6 (Section 5.2 explains why).
+std::vector<std::unique_ptr<TupleGenerator>> MakePaperDatasets(
+    bool f0_domains, uint64_t seed);
+
+}  // namespace castream
+
+#endif  // CASTREAM_STREAM_GENERATORS_H_

@@ -1,0 +1,31 @@
+// Stream element types shared across the library.
+#ifndef CASTREAM_STREAM_TYPES_H_
+#define CASTREAM_STREAM_TYPES_H_
+
+#include <cstdint>
+
+namespace castream {
+
+/// \brief One stream element (x, y): x is the item identifier that is
+/// aggregated, y is the numerical attribute the selection predicate filters
+/// on (Section 1 of the paper).
+struct Tuple {
+  uint64_t x = 0;
+  uint64_t y = 0;
+
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+};
+
+/// \brief One turnstile stream element (x, y, w) with a positive or negative
+/// integer weight (Section 4 of the paper).
+struct WeightedTuple {
+  uint64_t x = 0;
+  uint64_t y = 0;
+  int64_t weight = 1;
+
+  friend bool operator==(const WeightedTuple&, const WeightedTuple&) = default;
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_STREAM_TYPES_H_

@@ -1,0 +1,109 @@
+// Tests for the asynchronous sliding-window adapter (Section 1.1 reduction).
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/math_util.h"
+#include "src/common/random.h"
+#include "src/core/async_window.h"
+#include "src/core/correlated_fk.h"
+#include "src/sketch/exact.h"
+
+namespace castream {
+namespace {
+
+AsyncSlidingWindow<ExactAggregateFactory> MakeExactWindow(uint64_t t_max) {
+  CorrelatedSketchOptions o;
+  o.eps = 0.2;
+  o.delta = 0.1;
+  o.y_max = t_max;
+  o.f_max_hint = 1e9;
+  return AsyncSlidingWindow<ExactAggregateFactory>(
+      o, ExactAggregateFactory(AggregateKind::kF2), t_max);
+}
+
+TEST(AsyncWindowTest, RejectsOutOfRangeTimestamps) {
+  auto win = MakeExactWindow(1000);
+  EXPECT_FALSE(win.Observe(1, 2000).ok());
+  EXPECT_TRUE(win.Observe(1, 1000).ok());
+  EXPECT_FALSE(win.QueryWindow(5000, 10).ok());
+}
+
+TEST(AsyncWindowTest, ZeroWindowIsEmpty) {
+  auto win = MakeExactWindow(1000);
+  ASSERT_TRUE(win.Observe(1, 500).ok());
+  EXPECT_DOUBLE_EQ(win.QueryWindow(600, 0).value(), 0.0);
+}
+
+TEST(AsyncWindowTest, WindowSelectsRecentItemsDespiteOutOfOrderArrival) {
+  auto win = MakeExactWindow(1000);
+  // Arrivals deliberately out of timestamp order.
+  ASSERT_TRUE(win.Observe(/*v=*/1, /*t=*/900).ok());
+  ASSERT_TRUE(win.Observe(2, 100).ok());
+  ASSERT_TRUE(win.Observe(3, 950).ok());
+  ASSERT_TRUE(win.Observe(4, 500).ok());
+  ASSERT_TRUE(win.Observe(1, 920).ok());
+
+  // Window (850, 950]: items 1 (twice) and 3 once -> F2 = 4 + 1 = 5.
+  EXPECT_DOUBLE_EQ(win.QueryWindow(950, 100).value(), 5.0);
+  // Window (450, 950]: items 1 (x2), 3, 4 -> F2 = 4 + 1 + 1 = 6.
+  EXPECT_DOUBLE_EQ(win.QueryWindow(950, 500).value(), 6.0);
+  // Everything: frequencies {1:2, 2:1, 3:1, 4:1} -> F2 = 7.
+  EXPECT_DOUBLE_EQ(win.QueryWindow(1000, 1001).value(), 7.0);
+}
+
+TEST(AsyncWindowTest, RejectsWatermarkBeforeObservedTimestamps) {
+  auto win = MakeExactWindow(1000);
+  ASSERT_TRUE(win.Observe(1, 900).ok());
+  // The model answers queries about the most recent window; an interior
+  // watermark would need a two-sided range no prefix predicate can express.
+  auto r = win.QueryWindow(500, 100);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(AsyncWindowTest, QuerySinceEqualsSuffixAggregate) {
+  auto win = MakeExactWindow(1000);
+  for (uint64_t t = 0; t <= 1000; t += 100) {
+    ASSERT_TRUE(win.Observe(t / 100, t).ok());
+  }
+  // t >= 500: items 5,6,7,8,9,10 distinct once each -> F2 = 6.
+  EXPECT_DOUBLE_EQ(win.QuerySince(500).value(), 6.0);
+  EXPECT_DOUBLE_EQ(win.QuerySince(1001).value(), 0.0);
+}
+
+TEST(AsyncWindowTest, AgreesWithOracleUnderRandomShuffledArrivals) {
+  const uint64_t t_max = (1 << 16) - 1;
+  CorrelatedSketchOptions o;
+  o.eps = 0.2;
+  o.delta = 0.1;
+  o.y_max = t_max;
+  o.f_max_hint = 1e10;
+  AsyncSlidingWindow<AmsF2SketchFactory> win(
+      o, AmsF2SketchFactory(AmsDimsFor(o.eps / 2.0, BucketGamma(o), 4), 77),
+      t_max);
+
+  std::vector<std::pair<uint64_t, uint64_t>> events;  // (v, t)
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 40000; ++i) {
+    events.emplace_back(rng.NextBounded(1000), rng.NextBounded(t_max + 1));
+  }
+  for (const auto& [v, t] : events) ASSERT_TRUE(win.Observe(v, t).ok());
+
+  for (uint64_t window : {uint64_t{1} << 14, uint64_t{1} << 15}) {
+    const uint64_t watermark = t_max;
+    ExactAggregate oracle = ExactAggregateFactory(AggregateKind::kF2).Create();
+    for (const auto& [v, t] : events) {
+      if (t > watermark - window && t <= watermark) oracle.Insert(v);
+    }
+    auto r = win.QueryWindow(watermark, window);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(WithinRelativeError(r.value(), oracle.Estimate(), o.eps))
+        << "window=" << window << " est=" << r.value()
+        << " truth=" << oracle.Estimate();
+  }
+}
+
+}  // namespace
+}  // namespace castream

@@ -1,0 +1,98 @@
+// Tests for the two-direction predicate wrapper.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/common/math_util.h"
+#include "src/common/random.h"
+#include "src/core/bidirectional.h"
+#include "src/core/correlated_fk.h"
+#include "src/core/exact_correlated.h"
+#include "src/sketch/exact.h"
+
+namespace castream {
+namespace {
+
+BidirectionalCorrelatedSketch<ExactAggregateFactory> MakeExactBidir(
+    uint64_t y_max) {
+  CorrelatedSketchOptions o;
+  o.eps = 0.2;
+  o.delta = 0.1;
+  o.y_max = y_max;
+  o.f_max_hint = 1e9;
+  ExactAggregateFactory factory(AggregateKind::kF2);
+  return BidirectionalCorrelatedSketch<ExactAggregateFactory>(o, factory,
+                                                              factory);
+}
+
+TEST(BidirectionalTest, BothDirectionsOnTinyStream) {
+  auto sketch = MakeExactBidir(1023);
+  sketch.Insert(1, 10);
+  sketch.Insert(2, 500);
+  sketch.Insert(1, 900);
+  // y <= 500: items {1, 2} once each -> F2 = 2.
+  EXPECT_DOUBLE_EQ(sketch.QueryAtMost(500).value(), 2.0);
+  // y >= 500: items {2, 1} -> F2 = 2.
+  EXPECT_DOUBLE_EQ(sketch.QueryAtLeast(500).value(), 2.0);
+  // y >= 0 is everything: f = {1:2, 2:1} -> F2 = 5.
+  EXPECT_DOUBLE_EQ(sketch.QueryAtLeast(0).value(), 5.0);
+  // y >= beyond the domain: nothing.
+  EXPECT_DOUBLE_EQ(sketch.QueryAtLeast(100000).value(), 0.0);
+}
+
+TEST(BidirectionalTest, DirectionsPartitionTheStream) {
+  // For any boundary c: {y <= c} and {y >= c+1} partition the stream, so
+  // with exact buckets and no discards the two F1 answers must sum to n.
+  CorrelatedSketchOptions o;
+  o.eps = 0.2;
+  o.delta = 0.1;
+  o.y_max = 4095;
+  o.f_max_hint = 1e9;
+  o.alpha_override = 1u << 14;  // no discards: exact everywhere
+  ExactAggregateFactory factory(AggregateKind::kF1);
+  BidirectionalCorrelatedSketch<ExactAggregateFactory> sketch(o, factory,
+                                                              factory);
+  Xoshiro256 rng(7);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sketch.Insert(rng.NextBounded(100), rng.NextBounded(4096));
+  }
+  for (uint64_t c : {0ull, 100ull, 2048ull, 4094ull}) {
+    const double below = sketch.QueryAtMost(c).value();
+    const double above = sketch.QueryAtLeast(c + 1).value();
+    EXPECT_DOUBLE_EQ(below + above, static_cast<double>(n)) << "c=" << c;
+  }
+}
+
+TEST(BidirectionalTest, SuffixQueriesTrackExactBaseline) {
+  CorrelatedSketchOptions o;
+  o.eps = 0.2;
+  o.delta = 0.1;
+  o.y_max = (1 << 16) - 1;
+  o.f_max_hint = 1e10;
+  AmsF2SketchFactory forward(AmsDimsFor(o.eps, BucketGamma(o), 4), 11);
+  AmsF2SketchFactory mirrored(AmsDimsFor(o.eps, BucketGamma(o), 4), 12);
+  BidirectionalCorrelatedSketch<AmsF2SketchFactory> sketch(
+      o, std::move(forward), std::move(mirrored));
+  ExactCorrelatedAggregate truth(AggregateKind::kF2);  // over mirrored y
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t x = rng.NextBounded(2000);
+    uint64_t y = rng.NextBounded(1u << 16);
+    sketch.Insert(x, y);
+    truth.Insert(x, ((1u << 16) - 1) - y);
+  }
+  int checked = 0;
+  for (uint64_t c = 1024; c < (1u << 16); c = c * 4 + 3) {
+    auto r = sketch.QueryAtLeast(c);
+    if (!r.ok()) continue;
+    ++checked;
+    const double t = truth.Query(((1u << 16) - 1) - c);
+    EXPECT_TRUE(WithinRelativeError(r.value(), t, o.eps))
+        << "c=" << c << " est=" << r.value() << " truth=" << t;
+  }
+  EXPECT_GE(checked, 3);
+}
+
+}  // namespace
+}  // namespace castream

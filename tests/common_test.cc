@@ -1,0 +1,117 @@
+// Tests for the common substrate: Status, Result<T>, math utilities.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/math_util.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace castream {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("phi out of range");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "phi out of range");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: phi out of range");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::QueryOutOfRange("x").code(),
+            Status::Code::kQueryOutOfRange);
+  EXPECT_EQ(Status::PreconditionFailed("x").code(),
+            Status::Code::kPreconditionFailed);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+  EXPECT_EQ(Status::NotSupported("x").code(), Status::Code::kNotSupported);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    CASTREAM_RETURN_NOT_OK(Status::Internal("inner"));
+    return Status::OK();
+  };
+  auto passes = []() -> Status {
+    CASTREAM_RETURN_NOT_OK(Status::OK());
+    return Status::NotSupported("reached end");
+  };
+  EXPECT_EQ(fails().code(), Status::Code::kInternal);
+  EXPECT_EQ(passes().code(), Status::Code::kNotSupported);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::QueryOutOfRange("below threshold");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kQueryOutOfRange);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MovesOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto add_one = [](Result<int> in) -> Result<int> {
+    CASTREAM_ASSIGN_OR_RETURN(int v, in);
+    return v + 1;
+  };
+  EXPECT_EQ(add_one(41).value(), 42);
+  EXPECT_EQ(add_one(Status::Internal("boom")).status().code(),
+            Status::Code::kInternal);
+}
+
+TEST(MathUtilTest, MedianOddAndEven) {
+  std::vector<double> odd{5, 1, 3};
+  EXPECT_DOUBLE_EQ(MedianInPlace(odd), 3.0);
+  std::vector<double> even{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(MedianInPlace(even), 2.5);
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(MedianInPlace(empty), 0.0);
+  std::vector<double> one{7};
+  EXPECT_DOUBLE_EQ(MedianInPlace(one), 7.0);
+}
+
+TEST(MathUtilTest, PowIntMatchesRepeatedMultiplication) {
+  EXPECT_DOUBLE_EQ(PowInt(2.0, 10), 1024.0);
+  EXPECT_DOUBLE_EQ(PowInt(3.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(PowInt(1.5, 3), 3.375);
+  EXPECT_DOUBLE_EQ(PowInt(-2.0, 3), -8.0);
+}
+
+TEST(MathUtilTest, WithinRelativeError) {
+  EXPECT_TRUE(WithinRelativeError(110, 100, 0.1));
+  EXPECT_FALSE(WithinRelativeError(111, 100, 0.1));
+  EXPECT_TRUE(WithinRelativeError(90, 100, 0.1));
+  EXPECT_TRUE(WithinRelativeError(0, 0, 0.1));
+  EXPECT_FALSE(WithinRelativeError(1, 0, 0.1));
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(CeilDiv(1, 100), 1u);
+}
+
+}  // namespace
+}  // namespace castream

@@ -1,0 +1,134 @@
+// Tests for the Flajolet-Martin-based correlated F0 sketch (the Section 3.2
+// alternative algorithm).
+#include <cstdint>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "src/common/math_util.h"
+#include "src/common/random.h"
+#include "src/core/correlated_f0_fm.h"
+#include "src/stream/generators.h"
+
+namespace castream {
+namespace {
+
+TEST(FmCorrelatedF0Test, EmptyAnswersZeroEverywhere) {
+  FmCorrelatedF0Sketch sketch(FmCorrelatedF0Options{}, 1);
+  EXPECT_DOUBLE_EQ(sketch.Query(0), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Query(UINT64_MAX), 0.0);
+}
+
+TEST(FmCorrelatedF0Test, DuplicatesDoNotInflate) {
+  FmCorrelatedF0Options opts;
+  opts.eps = 0.1;
+  FmCorrelatedF0Sketch sketch(opts, 2);
+  for (int rep = 0; rep < 200; ++rep) {
+    for (uint64_t x = 0; x < 500; ++x) sketch.Insert(x, 10 + x);
+  }
+  // 500 distinct items; duplicates must not move the estimate.
+  EXPECT_TRUE(WithinRelativeError(sketch.Query(1000), 500.0, 0.25))
+      << sketch.Query(1000);
+}
+
+TEST(FmCorrelatedF0Test, MonotoneInCutoff) {
+  FmCorrelatedF0Sketch sketch(FmCorrelatedF0Options{}, 3);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 50000; ++i) {
+    sketch.Insert(rng.NextBounded(100000), rng.NextBounded(1u << 20));
+  }
+  double prev = -1.0;
+  for (uint64_t c = 1024; c <= (1u << 20); c *= 4) {
+    const double est = sketch.Query(c);
+    EXPECT_GE(est, prev) << "c=" << c;
+    prev = est;
+  }
+}
+
+class FmAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FmAccuracyTest, TracksExactDistinctAcrossCutoffs) {
+  const double eps = GetParam();
+  FmCorrelatedF0Options opts;
+  opts.eps = eps;
+  FmCorrelatedF0Sketch sketch(opts, 5);
+  std::unordered_map<uint64_t, uint64_t> min_y;
+  UniformGenerator gen(300000, (1u << 20) - 1, 6);
+  for (int i = 0; i < 150000; ++i) {
+    Tuple t = gen.Next();
+    sketch.Insert(t.x, t.y);
+    auto [it, fresh] = min_y.try_emplace(t.x, t.y);
+    if (!fresh && t.y < it->second) it->second = t.y;
+  }
+  int misses = 0, checked = 0;
+  for (uint64_t c = 65535; c < (1u << 20); c = c * 2 + 1) {
+    double truth = 0;
+    for (const auto& [x, y] : min_y) truth += (y <= c);
+    // PCSA is biased below ~30 items per bucket; skip the warm-up regime.
+    if (truth < 30.0 * sketch.buckets()) continue;
+    ++checked;
+    // PCSA concentrates at ~0.78/sqrt(m) ~= eps; allow 3 sigma and one
+    // outlier across the cutoff ladder.
+    if (!WithinRelativeError(sketch.Query(c), truth, 3.0 * eps)) ++misses;
+  }
+  EXPECT_GE(checked, 2);
+  EXPECT_LE(misses, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FmAccuracyTest,
+                         ::testing::Values(0.05, 0.1, 0.2));
+
+TEST(FmCorrelatedF0Test, SpaceIsFixedRegardlessOfStream) {
+  FmCorrelatedF0Options opts;
+  opts.eps = 0.1;
+  FmCorrelatedF0Sketch sketch(opts, 7);
+  const size_t fixed = sketch.SizeBytes();
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 200000; ++i) {
+    sketch.Insert(rng.Next(), rng.NextBounded(1u << 20));
+  }
+  EXPECT_EQ(sketch.SizeBytes(), fixed);
+  EXPECT_LE(sketch.StoredTuplesEquivalent(), sketch.buckets() * 64u);
+}
+
+TEST(FmCorrelatedF0Test, MergeEqualsUnion) {
+  FmCorrelatedF0Options opts;
+  opts.eps = 0.1;
+  FmCorrelatedF0Sketch a(opts, 9);
+  FmCorrelatedF0Sketch b(opts, 9);
+  FmCorrelatedF0Sketch u(opts, 9);
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t x = rng.NextBounded(50000);
+    uint64_t y = rng.NextBounded(1u << 16);
+    if (i % 2 == 0) {
+      a.Insert(x, y);
+    } else {
+      b.Insert(x, y);
+    }
+    u.Insert(x, y);
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  for (uint64_t c : {1024ull, 16383ull, 65535ull}) {
+    EXPECT_DOUBLE_EQ(a.Query(c), u.Query(c)) << "c=" << c;
+  }
+}
+
+TEST(FmCorrelatedF0Test, MergeRejectsForeignFamily) {
+  FmCorrelatedF0Options opts;
+  FmCorrelatedF0Sketch a(opts, 11);
+  FmCorrelatedF0Sketch b(opts, 12);
+  EXPECT_EQ(a.MergeFrom(b).code(), Status::Code::kPreconditionFailed);
+}
+
+TEST(FmCorrelatedF0OptionsTest, BucketsScaleWithEps) {
+  FmCorrelatedF0Options tight, loose;
+  tight.eps = 0.05;
+  loose.eps = 0.2;
+  EXPECT_GT(tight.Buckets(), loose.Buckets());
+  tight.buckets_override = 99;
+  EXPECT_EQ(tight.Buckets(), 99u);
+}
+
+}  // namespace
+}  // namespace castream

@@ -1,0 +1,115 @@
+// Tests for correlated Fk (k > 2) — the general framework instantiated
+// with the Indyk-Woodruff-style FkSketch (Section 3.1, Theorem 3).
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/common/math_util.h"
+#include "src/common/random.h"
+#include "src/core/correlated_fk.h"
+#include "src/core/exact_correlated.h"
+#include "src/stream/generators.h"
+
+namespace castream {
+namespace {
+
+CorrelatedSketchOptions FkOptions() {
+  CorrelatedSketchOptions o;
+  o.eps = 0.25;
+  o.delta = 0.2;
+  o.y_max = (1 << 16) - 1;
+  o.f_max_hint = 1e12;
+  return o;
+}
+
+FkSketchOptions BucketFk() {
+  FkSketchOptions o;
+  o.levels = 16;
+  o.width = 256;
+  o.depth = 4;
+  o.candidates = 64;
+  return o;
+}
+
+TEST(CorrelatedFkTest, EmptySummaryAnswersZero) {
+  auto sketch = MakeCorrelatedFk(FkOptions(), 3.0, 1, BucketFk());
+  auto r = sketch.Query(100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(CorrelatedFkTest, ThrottledClosingIsConfigured) {
+  auto opts = FkOptions();
+  opts.est_check_interval = 1;  // MakeCorrelatedFk raises it to >= 8
+  auto sketch = MakeCorrelatedFk(opts, 3.0, 2, BucketFk());
+  // The throttle is internal; verify indirectly via construction success
+  // and a live insert path.
+  sketch.Insert(1, 1);
+  EXPECT_EQ(sketch.tuples_inserted(), 1u);
+}
+
+TEST(CorrelatedFkTest, SkewedStreamTracksExactF3) {
+  // Zipf(2): F3 concentrates on head items, which both the bucket sketches
+  // and the framework handle well; tolerance reflects the FkSketch's
+  // single-recursion estimator (see sketch_fk_test.cc).
+  auto sketch = MakeCorrelatedFk(FkOptions(), 3.0, 3, BucketFk());
+  ExactCorrelatedAggregate truth(AggregateKind::kFk, 3.0);
+  ZipfGenerator gen(50000, 2.0, (1 << 16) - 1, 4);
+  for (int i = 0; i < 40000; ++i) {
+    Tuple t = gen.Next();
+    sketch.Insert(t.x, t.y);
+    truth.Insert(t.x, t.y);
+  }
+  int checked = 0;
+  for (uint64_t c = 8191; c <= ((1u << 16) - 1); c = c * 2 + 1) {
+    auto r = sketch.Query(c);
+    if (!r.ok()) continue;
+    const double t = truth.Query(c);
+    if (t <= 0) continue;
+    ++checked;
+    EXPECT_TRUE(WithinRelativeError(r.value(), t, 0.5))
+        << "c=" << c << " est=" << r.value() << " truth=" << t;
+  }
+  EXPECT_GE(checked, 2);
+}
+
+TEST(CorrelatedFkTest, FullRangeMatchesWholeStreamFkSketch) {
+  // At c = ymax the correlated answer and a whole-stream FkSketch see the
+  // same multiset; they should agree within the sketch's own error.
+  auto opts = FkOptions();
+  auto sketch = MakeCorrelatedFk(opts, 3.0, 5, BucketFk());
+  FkSketchOptions whole_opts = BucketFk();
+  whole_opts.k = 3.0;
+  FkSketchFactory whole_factory(whole_opts, 999);
+  FkSketch whole = whole_factory.Create();
+  ExactCorrelatedAggregate truth(AggregateKind::kFk, 3.0);
+  ZipfGenerator gen(20000, 1.5, (1 << 16) - 1, 6);
+  for (int i = 0; i < 30000; ++i) {
+    Tuple t = gen.Next();
+    sketch.Insert(t.x, t.y);
+    whole.Insert(t.x);
+    truth.Insert(t.x, t.y);
+  }
+  auto r = sketch.Query((1 << 16) - 1);
+  ASSERT_TRUE(r.ok());
+  const double exact = truth.Query((1 << 16) - 1);
+  EXPECT_TRUE(WithinRelativeError(r.value(), exact, 0.5))
+      << "correlated=" << r.value() << " exact=" << exact;
+  EXPECT_TRUE(WithinRelativeError(whole.Estimate(), exact, 0.5))
+      << "whole=" << whole.Estimate() << " exact=" << exact;
+}
+
+TEST(CorrelatedFkTest, SpaceBounded) {
+  auto sketch = MakeCorrelatedFk(FkOptions(), 3.0, 7, BucketFk());
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 30000; ++i) {
+    sketch.Insert(rng.NextBounded(5000), rng.NextBounded(1u << 16));
+  }
+  EXPECT_LE(sketch.TotalStoredBuckets(),
+            static_cast<size_t>(sketch.alpha() + 1) *
+                (sketch.max_level() + 1));
+  EXPECT_GT(sketch.StoredTuplesEquivalent(), 0u);
+}
+
+}  // namespace
+}  // namespace castream

@@ -1,0 +1,83 @@
+// Tests for the dyadic interval algebra.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/core/dyadic.h"
+
+namespace castream {
+namespace {
+
+TEST(DyadicTest, RootChildrenPartition) {
+  DyadicInterval root{0, 15};
+  EXPECT_EQ(root.LeftChild(), (DyadicInterval{0, 7}));
+  EXPECT_EQ(root.RightChild(), (DyadicInterval{8, 15}));
+}
+
+TEST(DyadicTest, SingletonDetection) {
+  EXPECT_TRUE((DyadicInterval{3, 3}).IsSingleton());
+  EXPECT_FALSE((DyadicInterval{2, 3}).IsSingleton());
+}
+
+TEST(DyadicTest, ContainsAndChildRouting) {
+  DyadicInterval iv{8, 15};
+  for (uint64_t y = 8; y <= 15; ++y) {
+    EXPECT_TRUE(iv.Contains(y));
+    EXPECT_EQ(iv.YInLeftChild(y), y <= 11);
+  }
+  EXPECT_FALSE(iv.Contains(7));
+  EXPECT_FALSE(iv.Contains(16));
+}
+
+TEST(DyadicTest, PrefixRelations) {
+  DyadicInterval iv{4, 7};
+  EXPECT_TRUE(iv.ContainedInPrefix(7));
+  EXPECT_TRUE(iv.ContainedInPrefix(10));
+  EXPECT_FALSE(iv.ContainedInPrefix(6));
+  EXPECT_TRUE(iv.StraddlesPrefix(5));   // 4 <= 5 < 7
+  EXPECT_FALSE(iv.StraddlesPrefix(7));  // contained, not straddling
+  EXPECT_FALSE(iv.StraddlesPrefix(3));  // disjoint
+}
+
+TEST(DyadicTest, RecursiveDecompositionReachesSingletons) {
+  DyadicInterval iv{0, 63};
+  while (!iv.IsSingleton()) {
+    DyadicInterval left = iv.LeftChild();
+    DyadicInterval right = iv.RightChild();
+    EXPECT_EQ(left.size() * 2, iv.size());
+    EXPECT_EQ(left.hi + 1, right.lo);
+    EXPECT_EQ(right.hi, iv.hi);
+    iv = right;
+  }
+  EXPECT_EQ(iv.lo, 63u);
+}
+
+TEST(DyadicTest, RoundUpToDyadicDomain) {
+  EXPECT_EQ(RoundUpToDyadicDomain(0), 1u);
+  EXPECT_EQ(RoundUpToDyadicDomain(1), 1u);
+  EXPECT_EQ(RoundUpToDyadicDomain(2), 3u);
+  EXPECT_EQ(RoundUpToDyadicDomain(3), 3u);
+  EXPECT_EQ(RoundUpToDyadicDomain(4), 7u);
+  EXPECT_EQ(RoundUpToDyadicDomain(1000000), (uint64_t{1} << 20) - 1);
+}
+
+TEST(DyadicTest, StraddlingIntervalCountIsLogarithmic) {
+  // At most one interval per size class straddles a prefix (Lemma 4's
+  // "no more than log ymax buckets in B2").
+  const uint64_t y_max = 1023;
+  EXPECT_LE(MaxStraddlingIntervals(y_max), 11u);
+  for (uint64_t c : {0ull, 1ull, 511ull, 512ull, 777ull, 1022ull}) {
+    // Count straddling dyadic intervals by explicit enumeration.
+    uint32_t straddling = 0;
+    for (uint64_t size = 1; size <= y_max + 1; size *= 2) {
+      for (uint64_t lo = 0; lo <= y_max; lo += size) {
+        DyadicInterval iv{lo, lo + size - 1};
+        straddling += iv.StraddlesPrefix(c);
+      }
+    }
+    EXPECT_LE(straddling, MaxStraddlingIntervals(y_max)) << "c=" << c;
+  }
+}
+
+}  // namespace
+}  // namespace castream

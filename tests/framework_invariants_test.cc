@@ -1,0 +1,220 @@
+// Structural and theorem-level tests of the framework beyond accuracy:
+// bucket-tree invariants under randomized workloads (failure injection via
+// adversarial parameters), exactness in the no-discard regime, determinism,
+// and the MULTIPASS postconditions of Theorem 7 measured with zero-noise
+// (exact) sketches.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/correlated_fk.h"
+#include "src/core/correlated_sketch.h"
+#include "src/core/exact_correlated.h"
+#include "src/core/multipass.h"
+#include "src/sketch/exact.h"
+#include "src/stream/tape.h"
+
+namespace castream {
+namespace {
+
+// Invariants must hold across stress parameters designed to exercise every
+// structural code path: tiny budgets (constant discarding), tiny domains
+// (singleton leaves), tiny f_max (few levels), heavy weights (immediate
+// closes), and skewed y (one-sided trees).
+struct StressCase {
+  uint32_t alpha;
+  uint64_t y_max;
+  double f_max;
+  int64_t weight;
+  bool skew_y;
+};
+
+class InvariantStressTest : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(InvariantStressTest, TreeInvariantsHoldThroughoutIngestion) {
+  const StressCase c = GetParam();
+  CorrelatedSketchOptions opts;
+  opts.eps = 0.25;
+  opts.delta = 0.2;
+  opts.y_max = c.y_max;
+  opts.f_max_hint = c.f_max;
+  opts.alpha_override = c.alpha;
+  auto sketch = MakeCorrelatedExact(opts, AggregateKind::kF2);
+  Xoshiro256 rng(c.alpha * 7919 + c.y_max);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t y = rng.NextBounded(c.y_max + 1);
+    if (c.skew_y) y = y * y / (c.y_max + 1);  // quadratic skew toward 0
+    sketch.Insert(rng.NextBounded(500), y, c.weight);
+    if (i % 4000 == 3999) {
+      ASSERT_TRUE(sketch.ValidateInvariants().ok()) << "after " << i;
+    }
+  }
+  EXPECT_TRUE(sketch.ValidateInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stress, InvariantStressTest,
+    ::testing::Values(StressCase{8, 1023, 1e6, 1, false},
+                      StressCase{8, 1023, 1e6, 100, false},
+                      StressCase{16, 15, 1e9, 1, false},
+                      StressCase{16, (1 << 20) - 1, 256, 5, false},
+                      StressCase{32, (1 << 16) - 1, 1e9, 1, true},
+                      StressCase{9, 63, 1e4, 17, true}));
+
+TEST(FrameworkExactnessTest, NoDiscardRegimeIsExactEverywhere) {
+  // With a budget far above the number of distinct y values, nothing is
+  // ever discarded and level 0 answers every cutoff exactly.
+  CorrelatedSketchOptions opts;
+  opts.eps = 0.3;
+  opts.delta = 0.2;
+  opts.y_max = (1 << 14) - 1;
+  opts.f_max_hint = 1e9;
+  opts.alpha_override = 1u << 15;
+  auto sketch = MakeCorrelatedExact(opts, AggregateKind::kF2);
+  ExactCorrelatedAggregate truth(AggregateKind::kF2);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t x = rng.NextBounded(200);
+    uint64_t y = rng.NextBounded(opts.y_max + 1);
+    sketch.Insert(x, y);
+    truth.Insert(x, y);
+  }
+  for (uint64_t c = 0; c <= opts.y_max; c += 911) {
+    auto r = sketch.Query(c);
+    ASSERT_TRUE(r.ok()) << "c=" << c;
+    EXPECT_DOUBLE_EQ(r.value(), truth.Query(c)) << "c=" << c;
+  }
+}
+
+TEST(FrameworkDeterminismTest, SameSeedSameStreamSameAnswers) {
+  CorrelatedSketchOptions opts;
+  opts.eps = 0.2;
+  opts.delta = 0.1;
+  opts.y_max = (1 << 16) - 1;
+  opts.f_max_hint = 1e10;
+  auto a = MakeCorrelatedF2(opts, 12345);
+  auto b = MakeCorrelatedF2(opts, 12345);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t x = rng.NextBounded(1000);
+    uint64_t y = rng.NextBounded(opts.y_max + 1);
+    a.Insert(x, y);
+    b.Insert(x, y);
+  }
+  for (uint64_t c = 1; c <= opts.y_max; c = c * 3 + 1) {
+    auto ra = a.Query(c);
+    auto rb = b.Query(c);
+    ASSERT_EQ(ra.ok(), rb.ok());
+    if (ra.ok()) {
+      EXPECT_DOUBLE_EQ(ra.value(), rb.value()) << "c=" << c;
+    }
+  }
+}
+
+TEST(FrameworkThrottleTest, EstCheckIntervalPreservesAccuracy) {
+  // Throttling the closing test (needed for expensive-estimate sketches)
+  // lets buckets overshoot 2^(l+1) by a bounded amount; accuracy at the
+  // configured eps must survive.
+  for (uint32_t interval : {1u, 8u, 64u}) {
+    CorrelatedSketchOptions opts;
+    opts.eps = 0.25;
+    opts.delta = 0.2;
+    opts.y_max = (1 << 16) - 1;
+    opts.f_max_hint = 1e9;
+    opts.est_check_interval = interval;
+    auto sketch = MakeCorrelatedExact(opts, AggregateKind::kF2);
+    ExactCorrelatedAggregate truth(AggregateKind::kF2);
+    Xoshiro256 rng(interval);
+    for (int i = 0; i < 40000; ++i) {
+      uint64_t x = rng.NextBounded(300);
+      uint64_t y = rng.NextBounded(opts.y_max + 1);
+      sketch.Insert(x, y);
+      truth.Insert(x, y);
+    }
+    int checked = 0;
+    for (uint64_t c = 4095; c <= opts.y_max; c = c * 2 + 1) {
+      auto r = sketch.Query(c);
+      if (!r.ok()) continue;
+      ++checked;
+      const double t = truth.Query(c);
+      EXPECT_NEAR(r.value(), t, opts.eps * t)
+          << "interval=" << interval << " c=" << c;
+    }
+    EXPECT_GE(checked, 3) << "interval=" << interval;
+  }
+}
+
+TEST(FrameworkEdgeTest, CutoffZeroAndBeyondDomain) {
+  CorrelatedSketchOptions opts;
+  opts.eps = 0.3;
+  opts.delta = 0.2;
+  opts.y_max = 1023;
+  opts.f_max_hint = 1e6;
+  auto sketch = MakeCorrelatedExact(opts, AggregateKind::kF2);
+  sketch.Insert(1, 0);
+  sketch.Insert(2, 1023);
+  sketch.Insert(1, 500);
+  // c = 0 selects only the y=0 tuple.
+  EXPECT_DOUBLE_EQ(sketch.Query(0).value(), 1.0);
+  // c beyond the domain clamps to everything: f = {1:2, 2:1} -> 5.
+  EXPECT_DOUBLE_EQ(sketch.Query(1u << 30).value(), 5.0);
+}
+
+TEST(FrameworkEdgeTest, EmptyAndSingletonBatches) {
+  CorrelatedSketchOptions opts;
+  opts.eps = 0.3;
+  opts.delta = 0.2;
+  opts.y_max = 1023;
+  opts.f_max_hint = 1e6;
+  auto sketch = MakeCorrelatedExact(opts, AggregateKind::kF2);
+  sketch.InsertBatch({});
+  sketch.InsertBatch({Tuple{7, 12}});
+  EXPECT_DOUBLE_EQ(sketch.Query(1023).value(), 1.0);
+  EXPECT_EQ(sketch.tuples_inserted(), 1u);
+}
+
+// Theorem 7's postconditions, measured sharply: with exact (zero-noise)
+// whole-stream sketches and sketch_eps = 0, the positions p(i) output by
+// MULTIPASS must satisfy f_{p(i)} >= (1-eps)(1+eps)^i and
+// f_{p(i)-1} <= (1+eps)^i for every i.
+TEST(MultipassTheoremTest, PositionPostconditionsWithExactSketches) {
+  StoredStream tape;
+  Xoshiro256 rng(5);
+  const uint64_t y_max = 2047;
+  for (int i = 0; i < 6000; ++i) {
+    tape.Append(rng.NextBounded(400), rng.NextBounded(y_max + 1), +1);
+  }
+  auto exact_f2 = [&](int64_t tau) {
+    if (tau < 0) return 0.0;
+    ExactAggregate agg = ExactAggregateFactory(AggregateKind::kF2).Create();
+    for (const WeightedTuple& t : tape.data()) {
+      if (t.y <= static_cast<uint64_t>(tau)) agg.Insert(t.x, t.weight);
+    }
+    return agg.Estimate();
+  };
+
+  MultipassOptions opts;
+  opts.eps = 0.3;
+  opts.y_max = y_max;
+  opts.sketch_eps = 0.0;  // exact sketches: isolates the search logic
+  MultipassEstimator<ExactAggregateFactory> mp(
+      opts, ExactAggregateFactory(AggregateKind::kF2));
+  ASSERT_TRUE(mp.Run(tape).ok());
+  const auto& p = mp.positions();
+  ASSERT_FALSE(p.empty());
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double threshold = std::pow(1.3, static_cast<double>(i));
+    if (p[i] > y_max) continue;  // level never reached by any prefix
+    EXPECT_GE(exact_f2(static_cast<int64_t>(p[i])) + 1e-9,
+              (1.0 - opts.eps) * threshold)
+        << "i=" << i << " p=" << p[i];
+    EXPECT_LE(exact_f2(static_cast<int64_t>(p[i]) - 1), threshold + 1e-9)
+        << "i=" << i << " p=" << p[i];
+  }
+}
+
+}  // namespace
+}  // namespace castream

@@ -1,0 +1,195 @@
+// Unit and statistical tests for the hash families in src/hash.
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/bit_util.h"
+#include "src/common/random.h"
+#include "src/hash/hash_family.h"
+#include "src/hash/row_hasher.h"
+
+namespace castream {
+namespace {
+
+TEST(Mod61Test, ReducesBelowPrime) {
+  EXPECT_EQ(Mod61(0), 0u);
+  EXPECT_EQ(Mod61(kMersenne61), 0u);
+  EXPECT_EQ(Mod61(kMersenne61 + 1), 1u);
+  unsigned __int128 big =
+      static_cast<unsigned __int128>(kMersenne61 - 1) * (kMersenne61 - 1);
+  EXPECT_LT(Mod61(big), kMersenne61);
+}
+
+TEST(Mod61Test, MatchesNaiveModuloOnRandomInputs) {
+  SplitMix64 sm(7);
+  for (int i = 0; i < 1000; ++i) {
+    unsigned __int128 v =
+        (static_cast<unsigned __int128>(sm.Next()) << 50) ^ sm.Next();
+    EXPECT_EQ(Mod61(v), static_cast<uint64_t>(v % kMersenne61));
+  }
+}
+
+TEST(MulAddMod61Test, MatchesWideArithmetic) {
+  SplitMix64 sm(11);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t a = sm.Next() % kMersenne61;
+    uint64_t x = sm.Next() % kMersenne61;
+    uint64_t b = sm.Next() % kMersenne61;
+    unsigned __int128 expect =
+        (static_cast<unsigned __int128>(a) * x + b) % kMersenne61;
+    EXPECT_EQ(MulAddMod61(a, x, b), static_cast<uint64_t>(expect));
+  }
+}
+
+TEST(PolynomialHashTest, Deterministic) {
+  SplitMix64 s1(42), s2(42);
+  FourWiseHash h1(s1), h2(s2);
+  for (uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h1(x), h2(x));
+}
+
+TEST(PolynomialHashTest, DifferentSeedsDiffer) {
+  SplitMix64 s1(1), s2(2);
+  FourWiseHash h1(s1), h2(s2);
+  int same = 0;
+  for (uint64_t x = 0; x < 1000; ++x) same += (h1(x) == h2(x));
+  EXPECT_LT(same, 5);
+}
+
+TEST(PolynomialHashTest, OutputBelowPrime) {
+  SplitMix64 s(3);
+  TwoWiseHash h(s);
+  for (uint64_t x = 0; x < 10000; ++x) EXPECT_LT(h(x), kMersenne61);
+}
+
+TEST(PolynomialHashTest, LowBitsRoughlyUniform) {
+  SplitMix64 s(5);
+  TwoWiseHash h(s);
+  int ones = 0;
+  const int n = 20000;
+  for (uint64_t x = 0; x < n; ++x) ones += static_cast<int>(h(x) & 1);
+  // Pairwise-independent bits over 20k samples: expect near n/2.
+  EXPECT_NEAR(ones, n / 2, 0.05 * n);
+}
+
+TEST(TabulationHashTest, DeterministicAndSeedSensitive) {
+  TabulationHash a(9), b(9), c(10);
+  int same_c = 0;
+  for (uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_EQ(a(x), b(x));
+    same_c += (a(x) == c(x));
+  }
+  EXPECT_LT(same_c, 3);
+}
+
+TEST(TabulationHashTest, NoObviousCollisionsOnSequentialKeys) {
+  TabulationHash h(123);
+  std::set<uint64_t> seen;
+  for (uint64_t x = 0; x < 50000; ++x) seen.insert(h(x));
+  EXPECT_EQ(seen.size(), 50000u);  // 64-bit collisions at 5e4 keys: ~1e-10
+}
+
+TEST(MixHash64Test, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip ~32 of 64 output bits on average.
+  double total_flips = 0;
+  int cases = 0;
+  for (uint64_t x = 1; x < 200; ++x) {
+    for (int bit = 0; bit < 64; bit += 7) {
+      uint64_t d = MixHash64(x, 77) ^ MixHash64(x ^ (uint64_t{1} << bit), 77);
+      total_flips += std::popcount(d);
+      ++cases;
+    }
+  }
+  EXPECT_NEAR(total_flips / cases, 32.0, 3.0);
+}
+
+TEST(RowHasherTest, BucketsWithinWidth) {
+  SplitMix64 s(17);
+  RowHasher row(s, 64);
+  for (uint64_t x = 0; x < 10000; ++x) EXPECT_LT(row.Bucket(x), 64u);
+}
+
+TEST(RowHasherTest, SignsBalanced) {
+  SplitMix64 s(19);
+  RowHasher row(s, 64);
+  int64_t sum = 0;
+  const int n = 40000;
+  for (uint64_t x = 0; x < n; ++x) sum += row.Sign(x);
+  // 4-wise independent signs: |sum| ~ sqrt(n) = 200; allow 6 sigma.
+  EXPECT_LT(std::abs(sum), 1200);
+}
+
+TEST(RowHasherTest, BucketsRoughlyUniform) {
+  SplitMix64 s(23);
+  const uint32_t width = 32;
+  RowHasher row(s, width);
+  std::vector<int> counts(width, 0);
+  const int n = 32000;
+  for (uint64_t x = 0; x < n; ++x) counts[row.Bucket(x)]++;
+  for (uint32_t b = 0; b < width; ++b) {
+    EXPECT_NEAR(counts[b], n / width, 0.25 * n / width) << "bucket " << b;
+  }
+}
+
+TEST(RowHashSetTest, RowsAreIndependentInstances) {
+  RowHashSet set(31, 4, 64);
+  ASSERT_EQ(set.depth(), 4u);
+  // Two rows should disagree on bucket assignment for most keys.
+  int agree = 0;
+  for (uint64_t x = 0; x < 2000; ++x) {
+    agree += (set.row(0).Bucket(x) == set.row(1).Bucket(x));
+  }
+  EXPECT_LT(agree, 2000 / 64 * 4);
+}
+
+TEST(BitUtilTest, Logarithms) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(BitUtilTest, NextPow2) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1000), 1024u);
+  EXPECT_TRUE(IsPow2(NextPow2(77)));
+}
+
+TEST(BitUtilTest, HashLevelDistribution) {
+  // Pr[HashLevel(h) >= l] = 2^-l for uniform h.
+  SplitMix64 sm(101);
+  const int n = 1 << 16;
+  int at_least_4 = 0;
+  for (int i = 0; i < n; ++i) at_least_4 += (HashLevel(sm.Next()) >= 4);
+  EXPECT_NEAR(at_least_4, n / 16, n / 64);
+}
+
+TEST(SplitMix64Test, KnownFirstValueIsStable) {
+  SplitMix64 a(0), b(0);
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, BoundedSamplingInRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace castream

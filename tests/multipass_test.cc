@@ -1,0 +1,217 @@
+// Tests for MULTIPASS (Section 4.2, Algorithm 4) and the GREATER-THAN
+// reduction (Section 4.1).
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/greater_than.h"
+#include "src/core/multipass.h"
+#include "src/sketch/ams_f2.h"
+#include "src/sketch/exact.h"
+#include "src/sketch/l1_sketch.h"
+#include "src/stream/tape.h"
+
+namespace castream {
+namespace {
+
+MultipassOptions MpOptions(double eps = 0.25, uint64_t y_max = 4095) {
+  MultipassOptions o;
+  o.eps = eps;
+  o.y_max = y_max;
+  o.sketch_eps = eps / 4.0;
+  return o;
+}
+
+// Exact prefix-F2 for a tape.
+double ExactPrefixF2(const StoredStream& tape, uint64_t tau) {
+  ExactAggregate agg = ExactAggregateFactory(AggregateKind::kF2).Create();
+  for (const WeightedTuple& t : tape.data()) {
+    if (t.y <= tau) agg.Insert(t.x, t.weight);
+  }
+  return agg.Estimate();
+}
+
+TEST(MultipassTest, QueryBeforeRunFails) {
+  MultipassEstimator<AmsF2SketchFactory> mp(
+      MpOptions(), AmsF2SketchFactory(SketchDims{5, 256}, 1));
+  EXPECT_EQ(mp.Query(10).status().code(), Status::Code::kPreconditionFailed);
+}
+
+TEST(MultipassTest, EmptyTapeAnswersZero) {
+  StoredStream tape;
+  MultipassEstimator<AmsF2SketchFactory> mp(
+      MpOptions(), AmsF2SketchFactory(SketchDims{5, 256}, 2));
+  ASSERT_TRUE(mp.Run(tape).ok());
+  EXPECT_DOUBLE_EQ(mp.Query(100).value(), 0.0);
+}
+
+TEST(MultipassTest, CancelledStreamAnswersZero) {
+  // Every insertion is matched by a deletion: net weights all zero.
+  StoredStream tape;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t x = rng.NextBounded(100);
+    uint64_t y = rng.NextBounded(4000);
+    tape.Append(x, y, +1);
+    tape.Append(x, y, -1);
+  }
+  MultipassEstimator<AmsF2SketchFactory> mp(
+      MpOptions(), AmsF2SketchFactory(SketchDims{5, 256}, 4));
+  ASSERT_TRUE(mp.Run(tape).ok());
+  EXPECT_DOUBLE_EQ(mp.Query(4000).value(), 0.0);
+}
+
+TEST(MultipassTest, PassCountIsLogarithmicInYmax) {
+  StoredStream tape;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    tape.Append(rng.NextBounded(200), rng.NextBounded(4096), +1);
+  }
+  MultipassEstimator<AmsF2SketchFactory> mp(
+      MpOptions(0.25, 4095), AmsF2SketchFactory(SketchDims{5, 512}, 6));
+  ASSERT_TRUE(mp.Run(tape).ok());
+  // 1 sizing pass + (log2(4096) - 1) search passes + 1 correction pass.
+  EXPECT_EQ(tape.passes(), 1u + 11u + 1u);
+}
+
+// Accuracy on monotone turnstile streams (deletions present but prefix F2
+// non-decreasing in tau; see the header's scope note).
+class MultipassAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MultipassAccuracyTest, QueryWithinFactorOfTruth) {
+  const double eps = GetParam();
+  StoredStream tape;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t x = rng.NextBounded(300);
+    uint64_t y = rng.NextBounded(4096);
+    tape.Append(x, y, +1);
+  }
+  // Deletions that keep prefixes monotone: delete at the same y as a
+  // matching insert elsewhere in the tape (net frequency stays >= 0 and
+  // f_tau keeps growing with tau thanks to the surviving mass).
+  for (int i = 0; i < 500; ++i) {
+    uint64_t x = 300 + rng.NextBounded(50);
+    uint64_t y = rng.NextBounded(4096);
+    tape.Append(x, y, +2);
+    tape.Append(x, y, -1);
+  }
+  MultipassEstimator<AmsF2SketchFactory> mp(
+      MpOptions(eps, 4095), AmsF2SketchFactory(SketchDims{5, 1024}, 8));
+  ASSERT_TRUE(mp.Run(tape).ok());
+
+  int checked = 0;
+  for (uint64_t tau = 255; tau <= 4095; tau = tau * 2 + 1) {
+    const double truth = ExactPrefixF2(tape, tau);
+    if (truth < 16.0) continue;  // below the coarsest (1+eps)^i rungs
+    auto r = mp.Query(tau);
+    ASSERT_TRUE(r.ok());
+    ++checked;
+    // Theorem 7: output within [(1-eps) f, (1+eps)^2 f] up to sketch error;
+    // allow one extra (1+eps) factor for the practical sketch dimensions.
+    const double lo = (1.0 - eps) / (1.0 + eps) * truth;
+    const double hi = (1.0 + eps) * (1.0 + eps) * (1.0 + eps) * truth;
+    EXPECT_GE(r.value(), lo) << "tau=" << tau << " truth=" << truth;
+    EXPECT_LE(r.value(), hi) << "tau=" << tau << " truth=" << truth;
+  }
+  EXPECT_GE(checked, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MultipassAccuracyTest,
+                         ::testing::Values(0.2, 0.3, 0.5));
+
+TEST(MultipassTest, WorksWithL1Sketch) {
+  StoredStream tape;
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    tape.Append(rng.NextBounded(500), rng.NextBounded(1024), +1);
+  }
+  MultipassOptions opts = MpOptions(0.3, 1023);
+  MultipassEstimator<L1SketchFactory> mp(opts, L1SketchFactory(256, 10));
+  ASSERT_TRUE(mp.Run(tape).ok());
+  // L1 of an insert-only unit-weight stream = its length restricted to tau.
+  for (uint64_t tau : {511ull, 1023ull}) {
+    double truth = 0;
+    for (const WeightedTuple& t : tape.data()) truth += (t.y <= tau);
+    auto r = mp.Query(tau);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(r.value(), truth, 0.6 * truth) << "tau=" << tau;
+  }
+}
+
+TEST(MultipassTest, PositionsAreMonotoneInLevel) {
+  // p(i) locates where f first clears (1+eps)^i; for monotone f the
+  // positions must be non-decreasing in i.
+  StoredStream tape;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    tape.Append(rng.NextBounded(400), rng.NextBounded(2048), +1);
+  }
+  MultipassEstimator<AmsF2SketchFactory> mp(
+      MpOptions(0.3, 2047), AmsF2SketchFactory(SketchDims{5, 1024}, 12));
+  ASSERT_TRUE(mp.Run(tape).ok());
+  const auto& p = mp.positions();
+  ASSERT_FALSE(p.empty());
+  for (size_t i = 1; i < p.size(); ++i) {
+    EXPECT_LE(p[i - 1], p[i] + 1) << "i=" << i;  // +1 slack: post-correction
+  }
+}
+
+TEST(GreaterThanTest, RejectsBadWidths) {
+  EXPECT_FALSE(GreaterThanProtocol::Compare(1, 2, 0, 1).ok());
+  EXPECT_FALSE(GreaterThanProtocol::Compare(1, 2, 64, 1).ok());
+  EXPECT_FALSE(GreaterThanProtocol::Compare(8, 2, 3, 1).ok());  // 8 needs 4 bits
+}
+
+TEST(GreaterThanTest, ComparesCorrectlyOnExhaustiveSmallInputs) {
+  for (uint64_t a = 0; a < 16; ++a) {
+    for (uint64_t b = 0; b < 16; ++b) {
+      auto r = GreaterThanProtocol::Compare(a, b, 4, 42);
+      ASSERT_TRUE(r.ok());
+      const int expect = a == b ? 0 : (a > b ? 1 : -1);
+      EXPECT_EQ(r.value().comparison, expect) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(GreaterThanTest, FirstDisagreementIndexIsCorrect) {
+  // a = 1011, b = 1001 disagree at position 3 (1-based from MSB).
+  auto r = GreaterThanProtocol::Compare(0b1011, 0b1001, 4, 7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().first_disagreement, 3u);
+  EXPECT_EQ(r.value().comparison, 1);
+}
+
+TEST(GreaterThanTest, RandomPairsAcrossWidths) {
+  Xoshiro256 rng(13);
+  for (uint32_t bits : {8u, 16u, 32u, 48u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const uint64_t mask = (uint64_t{1} << bits) - 1;
+      uint64_t a = rng.Next() & mask;
+      uint64_t b = rng.Next() & mask;
+      auto r = GreaterThanProtocol::Compare(a, b, bits, trial);
+      ASSERT_TRUE(r.ok());
+      const int expect = a == b ? 0 : (a > b ? 1 : -1);
+      EXPECT_EQ(r.value().comparison, expect)
+          << "bits=" << bits << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(GreaterThanTest, CommunicationGrowsLinearlyWithBits) {
+  // The single-pass protocol ships Theta(bits) sketch state — the behaviour
+  // Theorem 6 proves unavoidable for one-pass algorithms with deletions.
+  auto r8 = GreaterThanProtocol::Compare(3, 5, 8, 1);
+  auto r32 = GreaterThanProtocol::Compare(3, 5, 32, 1);
+  ASSERT_TRUE(r8.ok());
+  ASSERT_TRUE(r32.ok());
+  EXPECT_NEAR(static_cast<double>(r32.value().bytes_communicated) /
+                  static_cast<double>(r8.value().bytes_communicated),
+              4.0, 0.5);
+  EXPECT_EQ(r8.value().rounds, 2u);
+}
+
+}  // namespace
+}  // namespace castream

@@ -1,0 +1,115 @@
+// Tests for the Greenwald-Khanna quantile summary.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/quantile/gk_quantile.h"
+
+namespace castream {
+namespace {
+
+TEST(GkQuantileTest, EmptyQueryFails) {
+  GkQuantileSummary gk(0.05);
+  auto r = gk.Query(0.5);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kQueryOutOfRange);
+}
+
+TEST(GkQuantileTest, PhiOutOfRangeFails) {
+  GkQuantileSummary gk(0.05);
+  gk.Insert(1);
+  EXPECT_EQ(gk.Query(1.5).status().code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(gk.Query(-0.1).status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(GkQuantileTest, SingleElement) {
+  GkQuantileSummary gk(0.1);
+  gk.Insert(42);
+  EXPECT_EQ(gk.Query(0.0).value(), 42u);
+  EXPECT_EQ(gk.Query(0.5).value(), 42u);
+  EXPECT_EQ(gk.Query(1.0).value(), 42u);
+}
+
+// Rank-accuracy property: for every queried phi, the returned value's true
+// rank must lie within eps*n of phi*n.
+struct GkCase {
+  double eps;
+  int n;
+  int mode;  // 0: sorted, 1: reverse, 2: random, 3: duplicates
+};
+
+class GkAccuracyTest : public ::testing::TestWithParam<GkCase> {};
+
+TEST_P(GkAccuracyTest, RanksWithinEpsN) {
+  const GkCase c = GetParam();
+  GkQuantileSummary gk(c.eps);
+  std::vector<uint64_t> values;
+  values.reserve(c.n);
+  Xoshiro256 rng(c.mode * 31 + 7);
+  for (int i = 0; i < c.n; ++i) {
+    uint64_t v = 0;
+    switch (c.mode) {
+      case 0: v = static_cast<uint64_t>(i); break;
+      case 1: v = static_cast<uint64_t>(c.n - i); break;
+      case 2: v = rng.NextBounded(1u << 30); break;
+      case 3: v = rng.NextBounded(10); break;
+    }
+    values.push_back(v);
+    gk.Insert(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double phi : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    auto r = gk.Query(phi);
+    ASSERT_TRUE(r.ok());
+    // True rank band of the returned value.
+    auto lo = std::lower_bound(values.begin(), values.end(), r.value());
+    auto hi = std::upper_bound(values.begin(), values.end(), r.value());
+    double rank_lo = static_cast<double>(lo - values.begin());
+    double rank_hi = static_cast<double>(hi - values.begin());
+    double target = phi * c.n;
+    double slack = 2.0 * c.eps * c.n + 1.0;
+    EXPECT_LE(rank_lo - slack, target) << "phi=" << phi;
+    EXPECT_GE(rank_hi + slack, target) << "phi=" << phi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GkAccuracyTest,
+    ::testing::Values(GkCase{0.01, 20000, 2}, GkCase{0.05, 20000, 2},
+                      GkCase{0.05, 10000, 0}, GkCase{0.05, 10000, 1},
+                      GkCase{0.1, 5000, 3}, GkCase{0.02, 50000, 2}));
+
+TEST(GkQuantileTest, SpaceSublinearInN) {
+  GkQuantileSummary gk(0.01);
+  Xoshiro256 rng(3);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) gk.Insert(rng.NextBounded(1u << 31));
+  EXPECT_LT(gk.TupleCount(), static_cast<size_t>(n) / 20);
+  EXPECT_EQ(gk.count(), static_cast<uint64_t>(n));
+}
+
+TEST(GkQuantileTest, MonotoneAcrossPhi) {
+  GkQuantileSummary gk(0.05);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) gk.Insert(rng.NextBounded(1000000));
+  uint64_t prev = 0;
+  for (double phi = 0.05; phi <= 1.0; phi += 0.05) {
+    uint64_t v = gk.Query(phi).value();
+    EXPECT_GE(v, prev) << "phi=" << phi;
+    prev = v;
+  }
+}
+
+TEST(GkQuantileTest, RankEstimateTracksTruth) {
+  GkQuantileSummary gk(0.05);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) gk.Insert(static_cast<uint64_t>(i));
+  double est = gk.EstimateRank(n / 2);
+  EXPECT_NEAR(est, n / 2.0, 2.0 * 0.05 * n + 1);
+}
+
+}  // namespace
+}  // namespace castream

@@ -1,0 +1,112 @@
+// Tests for the Count-Min sketch.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/exact.h"
+
+namespace castream {
+namespace {
+
+TEST(CountMinTest, EmptyEstimatesZero) {
+  CountMinSketchFactory factory(SketchDims{4, 64}, 1);
+  CountMinSketch s = factory.Create();
+  EXPECT_DOUBLE_EQ(s.EstimateFrequency(9), 0.0);
+  EXPECT_EQ(s.TotalWeight(), 0);
+}
+
+TEST(CountMinTest, RejectsNegativeWeights) {
+  CountMinSketchFactory factory(SketchDims{4, 64}, 2);
+  CountMinSketch s = factory.Create();
+  EXPECT_EQ(s.Insert(1, -1).code(), Status::Code::kInvalidArgument);
+  EXPECT_TRUE(s.Insert(1, 0).ok());
+  EXPECT_TRUE(s.Insert(1, 5).ok());
+}
+
+TEST(CountMinTest, NeverUnderestimates) {
+  CountMinSketchFactory factory(SketchDims{4, 256}, 3);
+  CountMinSketch s = factory.Create();
+  ExactAggregate exact = ExactAggregateFactory(AggregateKind::kF1).Create();
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t x = rng.NextBounded(3000);
+    ASSERT_TRUE(s.Insert(x).ok());
+    exact.Insert(x);
+  }
+  for (uint64_t x = 0; x < 500; ++x) {
+    EXPECT_GE(s.EstimateFrequency(x),
+              static_cast<double>(exact.Frequency(x)))
+        << "x=" << x;
+  }
+}
+
+TEST(CountMinTest, OverestimateBoundedByEpsF1) {
+  const double eps = 0.01;
+  CountMinSketchFactory factory(CountMinSketchFactory::DimsFor(eps, 0.01), 5);
+  CountMinSketch s = factory.Create();
+  ExactAggregate exact = ExactAggregateFactory(AggregateKind::kF1).Create();
+  Xoshiro256 rng(6);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t x = rng.NextBounded(5000);
+    ASSERT_TRUE(s.Insert(x).ok());
+    exact.Insert(x);
+  }
+  int violations = 0;
+  for (uint64_t x = 0; x < 1000; ++x) {
+    const double err =
+        s.EstimateFrequency(x) - static_cast<double>(exact.Frequency(x));
+    violations += (err > eps * n);
+  }
+  EXPECT_LE(violations, 10);  // delta = 1% per point estimate
+}
+
+TEST(CountMinTest, HeavyItemSharp) {
+  CountMinSketchFactory factory(SketchDims{5, 1024}, 7);
+  CountMinSketch s = factory.Create();
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 20000; ++i) ASSERT_TRUE(s.Insert(rng.Next()).ok());
+  ASSERT_TRUE(s.Insert(42, 5000).ok());
+  const double est = s.EstimateFrequency(42);
+  EXPECT_GE(est, 5000.0);
+  EXPECT_LE(est, 5000.0 + 0.05 * s.TotalWeight());
+}
+
+TEST(CountMinTest, MergeEqualsConcatenation) {
+  CountMinSketchFactory factory(SketchDims{4, 128}, 9);
+  CountMinSketch ab = factory.Create();
+  CountMinSketch a = factory.Create();
+  CountMinSketch b = factory.Create();
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t x = rng.NextBounded(700);
+    ASSERT_TRUE(ab.Insert(x).ok());
+    ASSERT_TRUE((i % 2 ? a : b).Insert(x).ok());
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.TotalWeight(), ab.TotalWeight());
+  for (uint64_t x = 0; x < 100; ++x) {
+    EXPECT_DOUBLE_EQ(a.EstimateFrequency(x), ab.EstimateFrequency(x));
+  }
+}
+
+TEST(CountMinTest, MergeRejectsForeignFamily) {
+  CountMinSketchFactory f1(SketchDims{4, 64}, 11);
+  CountMinSketchFactory f2(SketchDims{4, 64}, 12);
+  CountMinSketch a = f1.Create();
+  CountMinSketch b = f2.Create();
+  EXPECT_EQ(a.MergeFrom(b).code(), Status::Code::kPreconditionFailed);
+}
+
+TEST(CountMinTest, DimsForScalesWithParameters) {
+  auto tight = CountMinSketchFactory::DimsFor(0.001, 0.01);
+  auto loose = CountMinSketchFactory::DimsFor(0.1, 0.01);
+  EXPECT_GT(tight.width, loose.width);
+  EXPECT_GT(CountMinSketchFactory::DimsFor(0.01, 1e-6).depth,
+            CountMinSketchFactory::DimsFor(0.01, 0.5).depth);
+}
+
+}  // namespace
+}  // namespace castream

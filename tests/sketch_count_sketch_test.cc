@@ -1,0 +1,105 @@
+// Tests for CountSketch point-frequency estimation.
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/sketch/count_sketch.h"
+#include "src/sketch/exact.h"
+
+namespace castream {
+namespace {
+
+TEST(CountSketchTest, EmptyEstimatesZero) {
+  CountSketchFactory factory(SketchDims{5, 64}, 1);
+  CountSketch s = factory.Create();
+  EXPECT_DOUBLE_EQ(s.EstimateFrequency(7), 0.0);
+}
+
+TEST(CountSketchTest, LoneItemIsExact) {
+  CountSketchFactory factory(SketchDims{5, 64}, 2);
+  CountSketch s = factory.Create();
+  s.Insert(99, 12);
+  EXPECT_DOUBLE_EQ(s.EstimateFrequency(99), 12.0);
+}
+
+TEST(CountSketchTest, NegativeWeightsTrackNetFrequency) {
+  CountSketchFactory factory(SketchDims{5, 64}, 3);
+  CountSketch s = factory.Create();
+  s.Insert(5, 10);
+  s.Insert(5, -4);
+  EXPECT_DOUBLE_EQ(s.EstimateFrequency(5), 6.0);
+}
+
+TEST(CountSketchTest, HeavyItemRecoveredAmongNoise) {
+  CountSketchFactory factory(SketchDims{5, 512}, 4);
+  CountSketch s = factory.Create();
+  ExactAggregate exact = ExactAggregateFactory(AggregateKind::kF2).Create();
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t x = rng.NextBounded(5000);
+    s.Insert(x);
+    exact.Insert(x);
+  }
+  s.Insert(777777, 2000);
+  exact.Insert(777777, 2000);
+  // Additive error is ~sqrt(F2/width) per row; the heavy item dominates.
+  double est = s.EstimateFrequency(777777);
+  double noise = std::sqrt(exact.Estimate() / 512.0);
+  EXPECT_NEAR(est, 2000.0, 6.0 * noise);
+}
+
+TEST(CountSketchTest, PointErrorsBoundedBySqrtF2OverWidth) {
+  CountSketchFactory factory(SketchDims{5, 256}, 6);
+  CountSketch s = factory.Create();
+  ExactAggregate exact = ExactAggregateFactory(AggregateKind::kF2).Create();
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t x = rng.NextBounded(2000);
+    s.Insert(x);
+    exact.Insert(x);
+  }
+  const double bound = 6.0 * std::sqrt(exact.Estimate() / 256.0);
+  int violations = 0;
+  for (uint64_t x = 0; x < 500; ++x) {
+    double err = std::abs(s.EstimateFrequency(x) -
+                          static_cast<double>(exact.Frequency(x)));
+    violations += (err > bound);
+  }
+  // 6-sigma with a median over 5 rows: essentially no violations expected.
+  EXPECT_LE(violations, 2);
+}
+
+TEST(CountSketchTest, MergeEqualsConcatenation) {
+  CountSketchFactory factory(SketchDims{5, 128}, 8);
+  CountSketch ab = factory.Create();
+  CountSketch a = factory.Create();
+  CountSketch b = factory.Create();
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t x = rng.NextBounded(700);
+    ab.Insert(x);
+    (i % 3 == 0 ? a : b).Insert(x);
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  for (uint64_t x = 0; x < 100; ++x) {
+    EXPECT_DOUBLE_EQ(a.EstimateFrequency(x), ab.EstimateFrequency(x));
+  }
+}
+
+TEST(CountSketchTest, MergeRejectsForeignFamily) {
+  CountSketchFactory f1(SketchDims{4, 64}, 10);
+  CountSketchFactory f2(SketchDims{4, 64}, 11);
+  CountSketch a = f1.Create();
+  CountSketch b = f2.Create();
+  EXPECT_EQ(a.MergeFrom(b).code(), Status::Code::kPreconditionFailed);
+}
+
+TEST(CountSketchTest, DimsForAccuracyWidenWithTighterEps) {
+  EXPECT_GT(CountSketchDimsFor(0.01, 0.1).width,
+            CountSketchDimsFor(0.2, 0.1).width);
+}
+
+}  // namespace
+}  // namespace castream

@@ -1,0 +1,100 @@
+// Tests for the exact linear-storage aggregate (baseline + ground truth).
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/sketch/exact.h"
+
+namespace castream {
+namespace {
+
+TEST(ExactAggregateTest, F0CountsDistinct) {
+  ExactAggregate s = ExactAggregateFactory(AggregateKind::kF0).Create();
+  for (uint64_t x = 0; x < 10; ++x) {
+    s.Insert(x);
+    s.Insert(x);
+  }
+  EXPECT_DOUBLE_EQ(s.Estimate(), 10.0);
+}
+
+TEST(ExactAggregateTest, F1SumsAbsoluteFrequencies) {
+  ExactAggregate s = ExactAggregateFactory(AggregateKind::kF1).Create();
+  s.Insert(1, 5);
+  s.Insert(2, -3);
+  EXPECT_DOUBLE_EQ(s.Estimate(), 8.0);
+}
+
+TEST(ExactAggregateTest, F2SquaresFrequencies) {
+  ExactAggregate s = ExactAggregateFactory(AggregateKind::kF2).Create();
+  s.Insert(1, 3);  // 9
+  s.Insert(2, 4);  // 16
+  EXPECT_DOUBLE_EQ(s.Estimate(), 25.0);
+}
+
+TEST(ExactAggregateTest, FkUsesConfiguredExponent) {
+  ExactAggregate s = ExactAggregateFactory(AggregateKind::kFk, 3.0).Create();
+  s.Insert(1, 2);  // 8
+  s.Insert(2, 3);  // 27
+  EXPECT_DOUBLE_EQ(s.Estimate(), 35.0);
+}
+
+TEST(ExactAggregateTest, RarityIsFractionOfSingletons) {
+  ExactAggregate s = ExactAggregateFactory(AggregateKind::kRarity).Create();
+  s.Insert(1);           // singleton
+  s.Insert(2);           // singleton
+  s.Insert(3, 2);        // not
+  s.Insert(4);
+  s.Insert(4);           // not
+  EXPECT_DOUBLE_EQ(s.Estimate(), 0.5);
+}
+
+TEST(ExactAggregateTest, RarityOfEmptyIsZero) {
+  ExactAggregate s = ExactAggregateFactory(AggregateKind::kRarity).Create();
+  EXPECT_DOUBLE_EQ(s.Estimate(), 0.0);
+}
+
+TEST(ExactAggregateTest, DeletionToZeroRemovesItem) {
+  ExactAggregate s = ExactAggregateFactory(AggregateKind::kF0).Create();
+  s.Insert(9, 4);
+  s.Insert(9, -4);
+  EXPECT_DOUBLE_EQ(s.Estimate(), 0.0);
+  EXPECT_EQ(s.CounterCount(), 0u);
+  EXPECT_EQ(s.Frequency(9), 0);
+}
+
+TEST(ExactAggregateTest, NegativeNetFrequencyCountsForF0AndFk) {
+  ExactAggregate f0 = ExactAggregateFactory(AggregateKind::kF0).Create();
+  f0.Insert(5, -2);
+  EXPECT_DOUBLE_EQ(f0.Estimate(), 1.0);  // |f| != 0 counts
+  ExactAggregate fk = ExactAggregateFactory(AggregateKind::kFk, 3.0).Create();
+  fk.Insert(5, -2);
+  EXPECT_DOUBLE_EQ(fk.Estimate(), 8.0);  // |−2|^3
+}
+
+TEST(ExactAggregateTest, MergeAddsFrequencies) {
+  ExactAggregateFactory factory(AggregateKind::kF2);
+  ExactAggregate a = factory.Create();
+  ExactAggregate b = factory.Create();
+  a.Insert(1, 2);
+  b.Insert(1, 3);
+  b.Insert(2, 1);
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_DOUBLE_EQ(a.Estimate(), 26.0);  // 5^2 + 1
+}
+
+TEST(ExactAggregateTest, MergeRejectsMismatchedKinds) {
+  ExactAggregate a = ExactAggregateFactory(AggregateKind::kF2).Create();
+  ExactAggregate b = ExactAggregateFactory(AggregateKind::kF0).Create();
+  EXPECT_EQ(a.MergeFrom(b).code(), Status::Code::kPreconditionFailed);
+}
+
+TEST(ExactAggregateTest, SizeGrowsWithDistinctItems) {
+  ExactAggregate s = ExactAggregateFactory(AggregateKind::kF2).Create();
+  size_t empty = s.SizeBytes();
+  for (uint64_t x = 0; x < 1000; ++x) s.Insert(x);
+  EXPECT_GT(s.SizeBytes(), empty);
+  EXPECT_EQ(s.CounterCount(), 1000u);
+}
+
+}  // namespace
+}  // namespace castream

@@ -1,0 +1,154 @@
+// Tests for the Fk (k > 2) frequency-moment sketch.
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/common/math_util.h"
+#include "src/common/random.h"
+#include "src/sketch/exact.h"
+#include "src/sketch/fk_sketch.h"
+#include "src/stream/generators.h"
+
+namespace castream {
+namespace {
+
+FkSketchOptions DefaultFk(double k) {
+  FkSketchOptions o;
+  o.k = k;
+  o.width = 1024;
+  o.depth = 5;
+  o.candidates = 128;
+  return o;
+}
+
+TEST(FkSketchTest, EmptyEstimatesZero) {
+  FkSketchFactory factory(DefaultFk(3.0), 1);
+  FkSketch s = factory.Create();
+  EXPECT_DOUBLE_EQ(s.Estimate(), 0.0);
+}
+
+TEST(FkSketchTest, SingleHeavyItemIsSharp) {
+  FkSketchFactory factory(DefaultFk(3.0), 2);
+  FkSketch s = factory.Create();
+  s.Insert(42, 100);
+  // One item of frequency 100: F3 = 1e6; recovery is exact up to CountSketch
+  // noise, which is zero for a lone item.
+  EXPECT_NEAR(s.Estimate(), 1e6, 1e-6);
+}
+
+TEST(FkSketchTest, FewDistinctItemsNearExact) {
+  FkSketchFactory factory(DefaultFk(3.0), 3);
+  FkSketch s = factory.Create();
+  ExactAggregate exact = ExactAggregateFactory(AggregateKind::kFk, 3.0).Create();
+  for (uint64_t x = 0; x < 50; ++x) {
+    s.Insert(x, static_cast<int64_t>(x + 1));
+    exact.Insert(x, static_cast<int64_t>(x + 1));
+  }
+  EXPECT_TRUE(WithinRelativeError(s.Estimate(), exact.Estimate(), 0.05));
+}
+
+TEST(FkSketchTest, SkewedStreamWithinModestError) {
+  // Zipf(alpha=2): Fk dominated by head items the sketch recovers directly.
+  FkSketchFactory factory(DefaultFk(3.0), 4);
+  FkSketch s = factory.Create();
+  ExactAggregate exact = ExactAggregateFactory(AggregateKind::kFk, 3.0).Create();
+  ZipfDistribution zipf(100000, 2.0);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t x = zipf.Sample(rng);
+    s.Insert(x);
+    exact.Insert(x);
+  }
+  EXPECT_TRUE(WithinRelativeError(s.Estimate(), exact.Estimate(), 0.35))
+      << "est=" << s.Estimate() << " truth=" << exact.Estimate();
+}
+
+TEST(FkSketchTest, UniformStreamWithinModestError) {
+  FkSketchOptions o = DefaultFk(3.0);
+  o.candidates = 256;
+  FkSketchFactory factory(o, 6);
+  FkSketch s = factory.Create();
+  ExactAggregate exact = ExactAggregateFactory(AggregateKind::kFk, 3.0).Create();
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 40000; ++i) {
+    uint64_t x = rng.NextBounded(2000);
+    s.Insert(x);
+    exact.Insert(x);
+  }
+  // Light-part subsampling dominates here; the single-recursion estimator
+  // is biased low when no level fits the whole population, so allow 50%.
+  EXPECT_TRUE(WithinRelativeError(s.Estimate(), exact.Estimate(), 0.5))
+      << "est=" << s.Estimate() << " truth=" << exact.Estimate();
+}
+
+TEST(FkSketchTest, MergeEqualsConcatenationApproximately) {
+  FkSketchFactory factory(DefaultFk(3.0), 8);
+  FkSketch ab = factory.Create();
+  FkSketch a = factory.Create();
+  FkSketch b = factory.Create();
+  ZipfDistribution zipf(10000, 1.5);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t x = zipf.Sample(rng);
+    ab.Insert(x);
+    (i % 2 ? a : b).Insert(x);
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  // Linear parts merge exactly; candidate sets may differ slightly, so the
+  // estimates agree up to pruning noise.
+  EXPECT_TRUE(WithinRelativeError(a.Estimate(), ab.Estimate(), 0.15))
+      << "merged=" << a.Estimate() << " direct=" << ab.Estimate();
+}
+
+TEST(FkSketchTest, MergeRejectsForeignFamily) {
+  FkSketchFactory f1(DefaultFk(3.0), 10);
+  FkSketchFactory f2(DefaultFk(3.0), 11);
+  FkSketch a = f1.Create();
+  FkSketch b = f2.Create();
+  EXPECT_EQ(a.MergeFrom(b).code(), Status::Code::kPreconditionFailed);
+}
+
+TEST(FkSketchTest, TopCandidatesRecoverHeavyHitters) {
+  FkSketchFactory factory(DefaultFk(3.0), 12);
+  FkSketch s = factory.Create();
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 10000; ++i) s.Insert(rng.NextBounded(5000));
+  s.Insert(99999, 500);
+  auto top = s.TopCandidates(5);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].first, 99999u);
+  EXPECT_NEAR(top[0].second, 500.0, 100.0);
+}
+
+TEST(FkSketchTest, SizeIndependentOfStreamLength) {
+  FkSketchFactory factory(DefaultFk(3.0), 14);
+  FkSketch s = factory.Create();
+  Xoshiro256 rng(15);
+  // Warm up past the lazy-densification phase, then require steady state.
+  for (int i = 0; i < 50000; ++i) s.Insert(rng.Next());
+  const size_t warm = s.SizeBytes();
+  for (int i = 0; i < 100000; ++i) s.Insert(rng.Next());
+  // A 3x longer stream may still densify a deep level or two (lazy
+  // densification tail) but must stay within a third of the warm size,
+  // far below linear growth.
+  EXPECT_LE(s.SizeBytes(), warm + (warm / 3));
+}
+
+TEST(FkSketchTest, K4MomentOnSkewedData) {
+  FkSketchFactory factory(DefaultFk(4.0), 16);
+  FkSketch s = factory.Create();
+  ExactAggregate exact = ExactAggregateFactory(AggregateKind::kFk, 4.0).Create();
+  ZipfDistribution zipf(50000, 2.0);
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t x = zipf.Sample(rng);
+    s.Insert(x);
+    exact.Insert(x);
+  }
+  EXPECT_TRUE(WithinRelativeError(s.Estimate(), exact.Estimate(), 0.35))
+      << "est=" << s.Estimate() << " truth=" << exact.Estimate();
+}
+
+}  // namespace
+}  // namespace castream

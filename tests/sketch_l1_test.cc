@@ -1,0 +1,87 @@
+// Tests for the L1 (Cauchy / 1-stable) turnstile sketch.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/common/math_util.h"
+#include "src/common/random.h"
+#include "src/sketch/exact.h"
+#include "src/sketch/l1_sketch.h"
+
+namespace castream {
+namespace {
+
+TEST(L1SketchTest, EmptyEstimatesZero) {
+  L1SketchFactory factory(128, 1);
+  L1Sketch s = factory.Create();
+  EXPECT_DOUBLE_EQ(s.Estimate(), 0.0);
+}
+
+TEST(L1SketchTest, DeletionCancelsInsertion) {
+  L1SketchFactory factory(128, 2);
+  L1Sketch s = factory.Create();
+  for (uint64_t x = 0; x < 200; ++x) s.Insert(x, 5);
+  for (uint64_t x = 0; x < 200; ++x) s.Insert(x, -5);
+  // Cancellation is exact up to floating-point addition order.
+  EXPECT_NEAR(s.Estimate(), 0.0, 1e-6);
+}
+
+TEST(L1SketchTest, SingleItemMagnitude) {
+  L1SketchFactory factory(512, 3);
+  L1Sketch s = factory.Create();
+  s.Insert(7, 1000);
+  // |z_i| = 1000 * |C_i(7)|; median over many i approaches 1000.
+  EXPECT_NEAR(s.Estimate(), 1000.0, 250.0);
+}
+
+class L1AccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(L1AccuracyTest, TracksExactL1UnderMixedSigns) {
+  const int seed = GetParam();
+  L1SketchFactory factory(1024, 100 + seed);
+  L1Sketch s = factory.Create();
+  ExactAggregate exact = ExactAggregateFactory(AggregateKind::kF1).Create();
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t x = rng.NextBounded(3000);
+    int64_t w = static_cast<int64_t>(rng.NextBounded(9)) - 4;  // [-4, 4]
+    s.Insert(x, w);
+    exact.Insert(x, w);
+  }
+  EXPECT_TRUE(WithinRelativeError(s.Estimate(), exact.Estimate(), 0.2))
+      << "est=" << s.Estimate() << " truth=" << exact.Estimate();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, L1AccuracyTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(L1SketchTest, MergeEqualsConcatenation) {
+  L1SketchFactory factory(256, 5);
+  L1Sketch ab = factory.Create();
+  L1Sketch a = factory.Create();
+  L1Sketch b = factory.Create();
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t x = rng.NextBounded(500);
+    ab.Insert(x);
+    (i % 2 ? a : b).Insert(x);
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  // Equal up to floating-point addition order.
+  EXPECT_NEAR(a.Estimate(), ab.Estimate(), 1e-9 * ab.Estimate());
+}
+
+TEST(L1SketchTest, MergeRejectsForeignFamily) {
+  L1SketchFactory f1(128, 7);
+  L1SketchFactory f2(128, 8);
+  L1Sketch a = f1.Create();
+  L1Sketch b = f2.Create();
+  EXPECT_EQ(a.MergeFrom(b).code(), Status::Code::kPreconditionFailed);
+}
+
+TEST(L1SketchTest, ProjectionsForAccuracyScaleWithEps) {
+  EXPECT_GT(L1SketchFactory::ProjectionsForAccuracy(0.05, 0.1),
+            L1SketchFactory::ProjectionsForAccuracy(0.2, 0.1));
+}
+
+}  // namespace
+}  // namespace castream
