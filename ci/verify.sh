@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything (library, 22 test
+# binaries, benches, examples), run the full CTest suite, then re-run the
+# statistical (eps, delta) tests as a focused job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+cd build
+ctest --output-on-failure -j"$(nproc)"
+
+# Focused pass over the statistical tests (the ones whose assertions encode
+# Pr[error <= eps] >= 1 - delta); kept separate so a flake is easy to spot.
+ctest --output-on-failure -L stats

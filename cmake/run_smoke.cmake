@@ -1,0 +1,10 @@
+# Runs an example binary and checks BOTH the exit code and the output, since
+# CTest's PASS_REGULAR_EXPRESSION would otherwise override the return-code
+# check. Usage: cmake -DSMOKE_CMD=<binary> -P run_smoke.cmake
+execute_process(COMMAND ${SMOKE_CMD} OUTPUT_VARIABLE smoke_out RESULT_VARIABLE smoke_rc)
+if(NOT smoke_rc EQUAL 0)
+  message(FATAL_ERROR "${SMOKE_CMD} exited with ${smoke_rc}")
+endif()
+if(NOT smoke_out MATCHES "estimate" OR NOT smoke_out MATCHES "rel\\.err")
+  message(FATAL_ERROR "${SMOKE_CMD} output missing the estimate table:\n${smoke_out}")
+endif()

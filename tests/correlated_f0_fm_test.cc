@@ -1,7 +1,6 @@
 // Tests for the Flajolet-Martin-based correlated F0 sketch (the Section 3.2
 // alternative algorithm).
 #include <cstdint>
-#include <unordered_map>
 
 #include <gtest/gtest.h>
 
@@ -9,9 +8,13 @@
 #include "src/common/random.h"
 #include "src/core/correlated_f0_fm.h"
 #include "src/stream/generators.h"
+#include "tests/test_util.h"
 
 namespace castream {
 namespace {
+
+using test::F0Oracle;
+using test::SweepCounter;
 
 TEST(FmCorrelatedF0Test, EmptyAnswersZeroEverywhere) {
   FmCorrelatedF0Sketch sketch(FmCorrelatedF0Options{}, 1);
@@ -52,27 +55,23 @@ TEST_P(FmAccuracyTest, TracksExactDistinctAcrossCutoffs) {
   FmCorrelatedF0Options opts;
   opts.eps = eps;
   FmCorrelatedF0Sketch sketch(opts, 5);
-  std::unordered_map<uint64_t, uint64_t> min_y;
+  F0Oracle oracle;
   UniformGenerator gen(300000, (1u << 20) - 1, 6);
   for (int i = 0; i < 150000; ++i) {
     Tuple t = gen.Next();
     sketch.Insert(t.x, t.y);
-    auto [it, fresh] = min_y.try_emplace(t.x, t.y);
-    if (!fresh && t.y < it->second) it->second = t.y;
+    oracle.Insert(t.x, t.y);
   }
-  int misses = 0, checked = 0;
+  SweepCounter sweep;
   for (uint64_t c = 65535; c < (1u << 20); c = c * 2 + 1) {
-    double truth = 0;
-    for (const auto& [x, y] : min_y) truth += (y <= c);
+    const double truth = oracle.Distinct(c);
     // PCSA is biased below ~30 items per bucket; skip the warm-up regime.
     if (truth < 30.0 * sketch.buckets()) continue;
-    ++checked;
     // PCSA concentrates at ~0.78/sqrt(m) ~= eps; allow 3 sigma and one
     // outlier across the cutoff ladder.
-    if (!WithinRelativeError(sketch.Query(c), truth, 3.0 * eps)) ++misses;
+    sweep.Count(WithinRelativeError(sketch.Query(c), truth, 3.0 * eps));
   }
-  EXPECT_GE(checked, 2);
-  EXPECT_LE(misses, 1);
+  EXPECT_TRUE(sweep.AtMost(/*max_misses=*/1, /*min_checked=*/2));
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FmAccuracyTest,

@@ -1,7 +1,6 @@
 // Tests for correlated distinct counting (Section 3.2) and rarity (3.3).
 #include <cstdint>
 #include <set>
-#include <unordered_map>
 
 #include <gtest/gtest.h>
 
@@ -9,9 +8,14 @@
 #include "src/common/random.h"
 #include "src/core/correlated_f0.h"
 #include "src/stream/generators.h"
+#include "tests/test_util.h"
 
 namespace castream {
 namespace {
+
+using test::F0Oracle;
+using test::SweepCounter;
+using test::TestRng;
 
 CorrelatedF0Options SmallF0Options() {
   CorrelatedF0Options o;
@@ -20,37 +24,6 @@ CorrelatedF0Options SmallF0Options() {
   o.x_domain = (1 << 20) - 1;
   return o;
 }
-
-// Exact correlated F0/rarity oracle for tests.
-class F0Oracle {
- public:
-  void Insert(uint64_t x, uint64_t y) {
-    auto [it, fresh] = min_y_.try_emplace(x, y);
-    if (!fresh && y < it->second) it->second = y;
-    occurrences_[x].push_back(y);
-  }
-
-  double Distinct(uint64_t c) const {
-    double n = 0;
-    for (const auto& [x, y] : min_y_) n += (y <= c);
-    return n;
-  }
-
-  double Rarity(uint64_t c) const {
-    double distinct = 0, singles = 0;
-    for (const auto& [x, ys] : occurrences_) {
-      int count = 0;
-      for (uint64_t y : ys) count += (y <= c);
-      if (count >= 1) ++distinct;
-      if (count == 1) ++singles;
-    }
-    return distinct == 0 ? 0.0 : singles / distinct;
-  }
-
- private:
-  std::unordered_map<uint64_t, uint64_t> min_y_;
-  std::unordered_map<uint64_t, std::vector<uint64_t>> occurrences_;
-};
 
 TEST(CorrelatedF0Test, EmptySummaryAnswersZero) {
   CorrelatedF0Sketch sketch(SmallF0Options(), 1);
@@ -64,7 +37,7 @@ TEST(CorrelatedF0Test, ExactWhileLevelZeroFits) {
   auto opts = SmallF0Options();
   CorrelatedF0Sketch sketch(opts, 2);
   F0Oracle oracle;
-  Xoshiro256 rng(3);
+  Xoshiro256 rng = TestRng(3);
   for (int i = 0; i < 150; ++i) {
     uint64_t x = rng.NextBounded(100);
     uint64_t y = rng.NextBounded(1000);
@@ -91,7 +64,7 @@ TEST(CorrelatedF0Test, MinYRetainedAcrossArrivalOrders) {
   CorrelatedF0Sketch forward(opts, 5);
   CorrelatedF0Sketch backward(opts, 5);  // same seed: same hash levels
   std::vector<Tuple> tuples;
-  Xoshiro256 rng(6);
+  Xoshiro256 rng = TestRng(6);
   for (int i = 0; i < 5000; ++i) {
     tuples.push_back(Tuple{rng.NextBounded(2000), rng.NextBounded(100000)});
   }
@@ -123,15 +96,14 @@ TEST_P(CorrelatedF0AccuracyTest, WithinEpsAcrossCutoffs) {
     sketch.Insert(t.x, t.y);
     oracle.Insert(t.x, t.y);
   }
-  int misses = 0, checked = 0;
+  SweepCounter sweep;
   for (uint64_t c = 4095; c <= 1000000; c = c * 4 + 3) {
     auto r = sketch.Query(c);
     if (!r.ok()) continue;
-    ++checked;
-    if (!WithinRelativeError(r.value(), oracle.Distinct(c), eps)) ++misses;
+    sweep.Count(WithinRelativeError(r.value(), oracle.Distinct(c), eps));
   }
-  EXPECT_GE(checked, 4);
-  EXPECT_LE(misses, 1) << "eps=" << eps;
+  EXPECT_TRUE(sweep.AtMost(/*max_misses=*/1, /*min_checked=*/4))
+      << "eps=" << eps;
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, CorrelatedF0AccuracyTest,
@@ -195,7 +167,7 @@ TEST(CorrelatedRarityTest, TracksOracleOnRandomStreams) {
   opts.eps = 0.1;
   CorrelatedRaritySketch sketch(opts, 15);
   F0Oracle oracle;
-  Xoshiro256 rng(16);
+  Xoshiro256 rng = TestRng(16);
   for (int i = 0; i < 60000; ++i) {
     // Mixture: half the ids are one-shot (large id space), half repeat.
     uint64_t x = (rng.NextBounded(2) == 0) ? 1000000 + rng.NextBounded(1u << 20)

@@ -7,10 +7,13 @@
 
 #include "src/common/random.h"
 #include "src/core/correlated_heavy_hitters.h"
-#include "src/core/exact_correlated.h"
+#include "tests/test_util.h"
 
 namespace castream {
 namespace {
+
+using test::HeavyHittersOracle;
+using test::TestRng;
 
 CorrelatedSketchOptions HhOptions() {
   CorrelatedSketchOptions o;
@@ -88,28 +91,33 @@ TEST(CorrelatedHeavyHittersTest, NoSpuriousHittersOnUniformStream) {
 
 TEST(CorrelatedHeavyHittersTest, SharesTrackExactShares) {
   CorrelatedF2HeavyHitters hh(HhOptions(), 0.05, 9);
-  ExactCorrelatedAggregate truth(AggregateKind::kF2);
-  Xoshiro256 rng(10);
+  HeavyHittersOracle oracle;
+  Xoshiro256 rng = TestRng(10);
   // Two heavy items with 3:1 squared-frequency ratio plus noise.
   for (int i = 0; i < 1800; ++i) {
-    hh.Insert(1, rng.NextBounded(60000));
-    truth.Insert(1, 0);
+    uint64_t y = rng.NextBounded(60000);
+    hh.Insert(1, y);
+    oracle.Insert(1, y);
   }
   for (int i = 0; i < 1039; ++i) {
-    hh.Insert(2, rng.NextBounded(60000));
-    truth.Insert(2, 0);
+    uint64_t y = rng.NextBounded(60000);
+    hh.Insert(2, y);
+    oracle.Insert(2, y);
   }
   for (int i = 0; i < 2000; ++i) {
     uint64_t x = 100 + rng.NextBounded(4000);
-    hh.Insert(x, rng.NextBounded(60000));
-    truth.Insert(x, 0);
+    uint64_t y = rng.NextBounded(60000);
+    hh.Insert(x, y);
+    oracle.Insert(x, y);
   }
   auto r = hh.Query(60000, 0.05);
   ASSERT_TRUE(r.ok());
   ASSERT_GE(r.value().size(), 2u);
-  EXPECT_EQ(r.value()[0].item, 1u);
-  EXPECT_EQ(r.value()[1].item, 2u);
-  const double f2 = truth.Query(0);
+  auto exact_hitters = oracle.Hitters(60000, 0.05);
+  ASSERT_GE(exact_hitters.size(), 2u);
+  EXPECT_EQ(r.value()[0].item, exact_hitters[0]);
+  EXPECT_EQ(r.value()[1].item, exact_hitters[1]);
+  const double f2 = oracle.F2(60000);
   EXPECT_NEAR(r.value()[0].estimated_f2_share, 1800.0 * 1800.0 / f2, 0.08);
 }
 

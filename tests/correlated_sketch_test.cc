@@ -16,9 +16,12 @@
 #include "src/core/correlated_sketch.h"
 #include "src/core/exact_correlated.h"
 #include "src/stream/generators.h"
+#include "tests/test_util.h"
 
 namespace castream {
 namespace {
+
+using test::SweepCounter;
 
 CorrelatedSketchOptions SmallOptions() {
   CorrelatedSketchOptions o;
@@ -243,16 +246,14 @@ TEST_P(CorrelatedF2E2ETest, TracksExactBaseline) {
     sketch.Insert(t.x, t.y);
     truth.Insert(t.x, t.y);
   }
-  int misses = 0;
-  int checked = 0;
+  SweepCounter sweep;
   for (uint64_t c_query = 2047; c_query <= opts.y_max; c_query = c_query * 2 + 1) {
     auto r = sketch.Query(c_query);
     if (!r.ok()) continue;
-    ++checked;
-    if (!WithinRelativeError(r.value(), truth.Query(c_query), c.eps)) ++misses;
+    sweep.Count(WithinRelativeError(r.value(), truth.Query(c_query), c.eps));
   }
-  EXPECT_GE(checked, 4);
-  EXPECT_LE(misses, 1) << "eps=" << c.eps;
+  EXPECT_TRUE(sweep.AtMost(/*max_misses=*/1, /*min_checked=*/4))
+      << "eps=" << c.eps;
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, CorrelatedF2E2ETest,

@@ -11,30 +11,15 @@
 
 #include "src/common/random.h"
 #include "src/sketch/exact.h"
+#include "tests/test_util.h"
 
 namespace castream {
 namespace {
 
-// Exact Fk over a frequency map built from a vector of items.
-double ExactFk(const std::vector<uint64_t>& items, double k) {
-  ExactAggregate agg = ExactAggregateFactory(AggregateKind::kFk, k).Create();
-  for (uint64_t x : items) agg.Insert(x);
-  return agg.Estimate();
-}
-
-std::vector<uint64_t> RandomMultiset(Xoshiro256& rng, int n, uint64_t domain) {
-  std::vector<uint64_t> out;
-  out.reserve(n);
-  for (int i = 0; i < n; ++i) out.push_back(rng.NextBounded(domain));
-  return out;
-}
-
-std::vector<uint64_t> Concat(const std::vector<uint64_t>& a,
-                             const std::vector<uint64_t>& b) {
-  std::vector<uint64_t> out = a;
-  out.insert(out.end(), b.begin(), b.end());
-  return out;
-}
+using test::Concat;
+using test::ExactFk;
+using test::RandomMultiset;
+using test::TestRng;
 
 struct LemmaCase {
   double k;
@@ -46,7 +31,7 @@ class FkLemmaTest : public ::testing::TestWithParam<LemmaCase> {};
 
 TEST_P(FkLemmaTest, ConditionII_Superadditivity) {
   const LemmaCase c = GetParam();
-  Xoshiro256 rng(11);
+  Xoshiro256 rng = TestRng(11);
   for (int trial = 0; trial < 20; ++trial) {
     auto r1 = RandomMultiset(rng, c.n, c.domain);
     auto r2 = RandomMultiset(rng, c.n / 2 + 1, c.domain);
@@ -58,7 +43,7 @@ TEST_P(FkLemmaTest, ConditionII_Superadditivity) {
 
 TEST_P(FkLemmaTest, Lemma6_UnionGrowthBoundedByJtoK) {
   const LemmaCase c = GetParam();
-  Xoshiro256 rng(13);
+  Xoshiro256 rng = TestRng(13);
   for (int trial = 0; trial < 10; ++trial) {
     const int j = 2 + static_cast<int>(rng.NextBounded(4));
     std::vector<std::vector<uint64_t>> sets;
@@ -76,7 +61,7 @@ TEST_P(FkLemmaTest, Lemma6_UnionGrowthBoundedByJtoK) {
 
 TEST_P(FkLemmaTest, Lemma7_SmallSetAbsorption) {
   const LemmaCase c = GetParam();
-  Xoshiro256 rng(17);
+  Xoshiro256 rng = TestRng(17);
   for (double eps : {0.2, 0.5, 0.9}) {
     for (int trial = 0; trial < 10; ++trial) {
       auto a = RandomMultiset(rng, c.n, c.domain);
@@ -98,7 +83,7 @@ TEST_P(FkLemmaTest, Lemma7_SmallSetAbsorption) {
 
 TEST_P(FkLemmaTest, Lemma8_SubtractionStability) {
   const LemmaCase c = GetParam();
-  Xoshiro256 rng(19);
+  Xoshiro256 rng = TestRng(19);
   for (double eps : {0.3, 0.6}) {
     for (int trial = 0; trial < 10; ++trial) {
       auto d = RandomMultiset(rng, c.n, c.domain);
@@ -165,7 +150,7 @@ TEST(ConditionIITest, RarityViolatesSuperadditivity) {
 
 TEST(ConditionITest, FkPolynomiallyBoundedInStreamLength) {
   // Condition I: f(R) <= poly(|R|). For unit weights Fk <= n^k.
-  Xoshiro256 rng(23);
+  Xoshiro256 rng = TestRng(23);
   for (double k : {2.0, 3.0}) {
     for (int n : {10, 100, 1000}) {
       auto r = RandomMultiset(rng, n, 7);  // tiny domain: worst case

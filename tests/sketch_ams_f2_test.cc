@@ -9,9 +9,13 @@
 #include "src/common/random.h"
 #include "src/sketch/ams_f2.h"
 #include "src/sketch/exact.h"
+#include "tests/test_util.h"
 
 namespace castream {
 namespace {
+
+using test::TestRng;
+using test::TrialsWithin;
 
 TEST(AmsF2Test, EmptySketchEstimatesZero) {
   AmsF2SketchFactory factory(SketchDims{4, 64}, 1);
@@ -107,13 +111,11 @@ class AmsAccuracyTest : public ::testing::TestWithParam<AmsAccuracyCase> {};
 
 TEST_P(AmsAccuracyTest, RelativeErrorWithinEps) {
   const AmsAccuracyCase c = GetParam();
-  int misses = 0;
-  const int kTrials = 5;
-  for (int trial = 0; trial < kTrials; ++trial) {
+  EXPECT_TRUE(TrialsWithin(/*trials=*/5, /*delta=*/0.2, [&](int trial) {
     AmsF2SketchFactory factory(c.eps, 0.05, 1000 + trial);
     AmsF2Sketch sketch = factory.Create();
     ExactAggregate exact = ExactAggregateFactory(AggregateKind::kF2).Create();
-    Xoshiro256 rng(trial * 77 + 13);
+    Xoshiro256 rng = TestRng(trial * 77 + 13);
     for (int i = 0; i < c.n; ++i) {
       uint64_t x = c.zipf_like
                        ? static_cast<uint64_t>(
@@ -123,11 +125,8 @@ TEST_P(AmsAccuracyTest, RelativeErrorWithinEps) {
       sketch.Insert(x);
       exact.Insert(x);
     }
-    if (!WithinRelativeError(sketch.Estimate(), exact.Estimate(), c.eps)) {
-      ++misses;
-    }
-  }
-  EXPECT_LE(misses, 1) << "eps=" << c.eps << " n=" << c.n;
+    return WithinRelativeError(sketch.Estimate(), exact.Estimate(), c.eps);
+  })) << "eps=" << c.eps << " n=" << c.n;
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -6,9 +6,13 @@
 #include "src/common/math_util.h"
 #include "src/common/random.h"
 #include "src/sketch/kmv.h"
+#include "tests/test_util.h"
 
 namespace castream {
 namespace {
+
+using test::TestRng;
+using test::TrialsWithin;
 
 TEST(KmvTest, ExactBelowCapacity) {
   KmvSketchFactory factory(64, 1);
@@ -31,22 +35,17 @@ class KmvAccuracyTest : public ::testing::TestWithParam<double> {};
 TEST_P(KmvAccuracyTest, EstimateWithinEps) {
   const double eps = GetParam();
   const uint32_t k = KmvSketchFactory::KForAccuracy(eps, 0.05);
-  int misses = 0;
-  const int kTrials = 5;
-  for (int trial = 0; trial < kTrials; ++trial) {
+  EXPECT_TRUE(TrialsWithin(/*trials=*/5, /*delta=*/0.2, [&](int trial) {
     KmvSketchFactory factory(k, 100 + trial);
     KmvSketch s = factory.Create();
     const uint64_t truth = 50000;
-    Xoshiro256 rng(trial);
+    Xoshiro256 rng = TestRng(trial);
     for (uint64_t x = 0; x < truth; ++x) {
       s.Insert(x);
       if (rng.NextDouble() < 0.3) s.Insert(x);  // duplicates
     }
-    if (!WithinRelativeError(s.Estimate(), static_cast<double>(truth), eps)) {
-      ++misses;
-    }
-  }
-  EXPECT_LE(misses, 1);
+    return WithinRelativeError(s.Estimate(), static_cast<double>(truth), eps);
+  }));
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, KmvAccuracyTest,
