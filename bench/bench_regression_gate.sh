@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# CTest-registered throughput regression gate.
+#
+# Re-runs bench_update_throughput briefly and fails if any benchmark drops
+# below GATE_FLOOR x its recorded "current" items/sec in BENCH_baseline.json.
+# The floor is deliberately generous (default 0.25): the gate exists to catch
+# order-of-magnitude rot — an accidentally quadratic hot path, a lost fast
+# path, a Debug-flag leak into Release — not to police run-to-run or
+# machine-to-machine variance.
+#
+# Exit codes: 0 ok, 1 regression, 77 skip (CTest SKIP_RETURN_CODE) when the
+# bench binary, the baseline file, or python3 is unavailable.
+#
+# Environment knobs:
+#   BENCH_GATE_FLOOR      fraction of recorded throughput required (0.25)
+#   BENCH_GATE_MIN_TIME   per-benchmark min time for the quick re-run (0.05)
+set -euo pipefail
+
+BIN=${1:?usage: bench_regression_gate.sh BENCH_BINARY BASELINE_JSON}
+BASELINE=${2:?usage: bench_regression_gate.sh BENCH_BINARY BASELINE_JSON}
+FLOOR=${BENCH_GATE_FLOOR:-0.25}
+MIN_TIME=${BENCH_GATE_MIN_TIME:-0.05}
+
+command -v python3 > /dev/null 2>&1 || { echo "skip: python3 missing"; exit 77; }
+[ -x "$BIN" ] || { echo "skip: $BIN not built"; exit 77; }
+[ -f "$BASELINE" ] || { echo "skip: $BASELINE missing"; exit 77; }
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+"$BIN" --benchmark_min_time="$MIN_TIME" --benchmark_format=json \
+       --benchmark_out="$TMP" > /dev/null
+
+python3 - "$TMP" "$BASELINE" "$FLOOR" <<'PY'
+import json
+import sys
+
+run_path, baseline_path, floor = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(run_path) as f:
+    run = json.load(f)
+with open(baseline_path) as f:
+    recorded = json.load(f).get("current", {})
+
+got = {b["name"]: b.get("items_per_second")
+       for b in run.get("benchmarks", [])}
+failures = []
+for name, ref in sorted(recorded.items()):
+    ips = got.get(name)
+    if ips is None:
+        failures.append(f"{name}: missing from the re-run")
+    elif ips < floor * ref:
+        failures.append(
+            f"{name}: {ips:,.0f} items/s < {floor} x recorded {ref:,.0f}")
+
+for name, ips in sorted(got.items()):
+    if ips:
+        print(f"  {name}: {ips:,.0f} items/s")
+if failures:
+    print("bench_regression_gate FAILED:")
+    for failure in failures:
+        print("  " + failure)
+    sys.exit(1)
+print(f"bench_regression_gate OK "
+      f"({len(recorded)} benchmarks >= {floor} x recorded)")
+PY

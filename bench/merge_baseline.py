@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Merges a Google Benchmark JSON run into the committed baseline file.
+
+The baseline file keeps two benchmark sections, both mapping benchmark name
+to items/second:
+
+  seed    -- throughput of the pre-optimization implementation (the state
+             before the hash-once ingest fast path landed), captured once on
+             the machine described in "machine". Frozen: this script never
+             touches it, so speedup claims stay auditable.
+  current -- throughput of the implementation at the last capture;
+             refreshed by every run of bench/run_baselines.sh and used as
+             the reference by bench/bench_regression_gate.sh.
+"""
+import json
+import sys
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        sys.exit("usage: merge_baseline.py RUN_JSON OUT_JSON")
+    run_path, out_path = sys.argv[1], sys.argv[2]
+
+    with open(run_path) as f:
+        run = json.load(f)
+
+    current = {}
+    for bench in run.get("benchmarks", []):
+        ips = bench.get("items_per_second")
+        if ips:
+            current[bench["name"]] = round(ips, 1)
+
+    try:
+        with open(out_path) as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        baseline = {}
+
+    baseline.setdefault("seed", {})
+    baseline.setdefault(
+        "methodology",
+        "see README.md section 'Performance' for how these numbers are "
+        "captured and compared",
+    )
+    baseline["machine"] = run.get("context", {})
+    baseline["current"] = current
+
+    with open(out_path, "w") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+if __name__ == "__main__":
+    main()

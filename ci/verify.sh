@@ -14,3 +14,14 @@ ctest --output-on-failure -j"$(nproc)"
 # Focused pass over the statistical tests (the ones whose assertions encode
 # Pr[error <= eps] >= 1 - delta); kept separate so a flake is easy to spot.
 ctest --output-on-failure -L stats
+
+# Release-mode bench smoke: the bench targets must keep building *and*
+# running (a quick timed pass, not a measurement). Skipped cleanly when
+# Google Benchmark is absent; the plain-number --benchmark_min_time form is
+# accepted by both pre- and post-1.8 benchmark releases.
+if [ -x ./bench_update_throughput ]; then
+  echo "== bench smoke (bench_update_throughput) =="
+  ./bench_update_throughput --benchmark_min_time=0.05
+else
+  echo "Google Benchmark not found; skipping bench smoke"
+fi

@@ -50,6 +50,16 @@ void CorrelatedF0Sketch::Insert(uint64_t x, uint64_t y) {
   for (Instance& inst : instances_) InsertInto(inst, x, y);
 }
 
+void CorrelatedF0Sketch::InsertBatch(std::span<const Tuple> batch) {
+  // Instance-major: each repetition's state depends only on its own inserts,
+  // so running the whole batch through one instance at a time is exactly
+  // equivalent to interleaved insertion while touching one instance's hash
+  // tables at a time.
+  for (Instance& inst : instances_) {
+    for (const Tuple& t : batch) InsertInto(inst, t.x, t.y);
+  }
+}
+
 void CorrelatedF0Sketch::InsertInto(Instance& inst, uint64_t x, uint64_t y) {
   // Item x participates in levels 0 .. HashLevel(h(x)): level l is a
   // 2^-l-rate sample of the identifier universe.

@@ -21,12 +21,15 @@
 #define CASTREAM_CORE_CORRELATED_F0_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/stream/types.h"
 
 namespace castream {
 
@@ -68,6 +71,15 @@ class CorrelatedF0Sketch {
 
   /// \brief Observes tuple (x, y). Expected O(1) levels touched.
   void Insert(uint64_t x, uint64_t y);
+
+  /// \brief Batched ingest, exactly equivalent to one-at-a-time Insert in
+  /// batch order: repetitions are independent, so the batch is run through
+  /// one repetition at a time, keeping that repetition's levels (and the
+  /// per-instance hash seed) cache-resident. Callers keep the buffer.
+  void InsertBatch(std::span<const Tuple> batch);
+  void InsertBatch(std::initializer_list<Tuple> batch) {
+    InsertBatch(std::span<const Tuple>(batch.begin(), batch.size()));
+  }
 
   /// \brief (eps, delta) estimate of the number of distinct x among tuples
   /// with y <= c. Fails only if every level has discarded below c, which
@@ -128,6 +140,7 @@ class CorrelatedRaritySketch {
       : inner_(options, seed, /*track_second_occurrence=*/true) {}
 
   void Insert(uint64_t x, uint64_t y) { inner_.Insert(x, y); }
+  void InsertBatch(std::span<const Tuple> batch) { inner_.InsertBatch(batch); }
   Result<double> Query(uint64_t c) const { return inner_.QueryRarity(c); }
   /// \brief The underlying distinct count (the rarity denominator).
   Result<double> QueryDistinct(uint64_t c) const { return inner_.Query(c); }

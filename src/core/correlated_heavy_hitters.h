@@ -17,6 +17,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -31,6 +33,14 @@ namespace castream {
 
 class F2HeavyHitterBundle;
 
+/// \brief One tuple's per-row randomness for both halves of the bundle (the
+/// AMS and CountSketch families use independent hash sets), computed once
+/// per arrival and reused across every bucket the framework routes into.
+struct F2HeavyHitterPreHashed {
+  RowHashSet::PreHashed f2;
+  RowHashSet::PreHashed cs;
+};
+
 /// \brief Factory of composite (AMS + CountSketch + candidates) bucket
 /// sketches; all bundles of one factory share hash functions and merge.
 class F2HeavyHitterBundleFactory {
@@ -41,6 +51,11 @@ class F2HeavyHitterBundleFactory {
         max_candidates_(std::max<uint32_t>(4, max_candidates)) {}
 
   F2HeavyHitterBundle Create() const;
+
+  /// \brief Computes x's randomness for both sketch families, once.
+  F2HeavyHitterPreHashed Prehash(uint64_t x) const {
+    return F2HeavyHitterPreHashed{f2_.Prehash(x), cs_.Prehash(x)};
+  }
 
  private:
   friend class F2HeavyHitterBundle;
@@ -60,7 +75,19 @@ class F2HeavyHitterBundle {
     AddCandidate(x);
   }
 
+  /// \brief Pre-hashed insert: identical effect to Insert(ph.f2.x, weight),
+  /// with hash-free dense paths in both member sketches.
+  void Insert(const F2HeavyHitterPreHashed& ph, int64_t weight = 1) {
+    f2_.Insert(ph.f2, weight);
+    cs_.Insert(ph.cs, weight);
+    AddCandidate(ph.f2.x);
+  }
+
   double Estimate() const { return f2_.Estimate(); }
+
+  /// \brief Cheap certain upper bound on Estimate() (see AmsF2Sketch); lets
+  /// the framework's bucket-closing test skip the full median.
+  double EstimateUpperBound() const { return f2_.EstimateUpperBound(); }
 
   Status MergeFrom(const F2HeavyHitterBundle& other) {
     CASTREAM_RETURN_NOT_OK(f2_.MergeFrom(other.f2_));
@@ -156,6 +183,19 @@ class CorrelatedF2HeavyHitters {
   void Insert(uint64_t x, uint64_t y, int64_t weight = 1) {
     sketch_.Insert(x, y, weight);
   }
+
+  /// \brief Batched ingest, exactly equivalent to one-at-a-time Insert (see
+  /// CorrelatedSketch::InsertBatch); each tuple's AMS + CountSketch
+  /// randomness is hashed once for all bucket levels.
+  void InsertBatch(std::span<const Tuple> batch) {
+    sketch_.InsertBatch(batch);
+  }
+  void InsertBatch(std::initializer_list<Tuple> batch) {
+    sketch_.InsertBatch(batch);
+  }
+
+  /// \brief Structural self-check of the underlying framework (tests).
+  Status ValidateInvariants() const { return sketch_.ValidateInvariants(); }
 
   /// \brief Heavy hitters of the substream {(x, y) : y <= c}, heaviest
   /// first.

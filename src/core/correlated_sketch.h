@@ -27,15 +27,52 @@
 //     underestimates f of the union, so we merge the singleton sketches and
 //     estimate once — the interpretation consistent with Theorem 2's proof,
 //     which treats level 0 through event G exactly like other levels.
+//
+// Ingest fast path (the Section 3.1 / Lemma 9 speedups):
+//   * every bucket sketch of one summary shares a single hash family, so a
+//     tuple's per-row randomness is computed ONCE (Factory::Prehash) and
+//     reused across level 0 and all tree levels — detected at compile time,
+//     factories without Prehash (e.g. ExactAggregateFactory) use plain
+//     inserts;
+//   * the bucket-closing test `Estimate() >= 2^(l+1)` is gated by the
+//     sketch's cheap EstimateUpperBound() when available: a bound below the
+//     threshold decides the test without the full median estimate, changing
+//     no closing decision;
+//   * per-level close thresholds are precomputed, the leaf index and level-0
+//     singletons are flat sorted vectors (discards only ever pop the back),
+//     and a per-level cursor caches the last leaf so runs of nearby y values
+//     skip the root-to-leaf descent;
+//   * InsertBatch processes a batch level-major (all tuples through level 0,
+//     then through each tree level) — levels are mutually independent, so
+//     this is *exactly* equivalent to one-at-a-time insertion in stream
+//     order while keeping each level's tree cache-resident. The batch is
+//     deliberately NOT re-sorted by y: reordering can shift bucket-closing
+//     times, which changes which dyadic spans straddle a query cutoff and
+//     therefore the answer; level-major order gives the locality win without
+//     giving up estimate-identical batched ingest;
+//   * virtual root pool: every level whose root bucket has never closed has,
+//     by construction, absorbed the exact same stream — every arrival, since
+//     its Y_l is still infinite and its tree is the single open root. Those
+//     levels (a suffix first_virtual_ .. lmax, since close thresholds grow
+//     with l) share ONE physical "tail" sketch instead of maintaining
+//     ~log(f_max) identical copies; a level is materialized (tail merged
+//     into its own root, root marked closed) at the exact moment its closing
+//     condition first holds, after which it evolves independently. Because
+//     sketches of one family merge losslessly, every query answer, closing
+//     decision, and discard is bit-for-bit identical to the unshared
+//     layout — the per-record update cost just drops from one sketch update
+//     per level to one update total for the whole virtual suffix.
 #ifndef CASTREAM_CORE_CORRELATED_SKETCH_H_
 #define CASTREAM_CORE_CORRELATED_SKETCH_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <concepts>
 #include <cstdint>
-#include <map>
-#include <optional>
+#include <initializer_list>
+#include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -68,6 +105,39 @@ concept SketchFamilyFactory = requires(const F& f) {
   { f.Create() } -> MergeableSketch;
 };
 
+namespace internal {
+
+/// \brief True when the factory can pre-hash an item once and its sketches
+/// accept the pre-hashed form (the hash-once ingest fast path).
+template <typename Factory, typename Sketch>
+concept PreHashedIngest = requires(const Factory& f, Sketch& s) {
+  s.Insert(f.Prehash(uint64_t{0}), int64_t{1});
+};
+
+/// \brief True when the sketch offers a cheap certain upper bound on
+/// Estimate(), letting the close test skip the full estimate.
+template <typename S>
+concept HasEstimateUpperBound = requires(const S& s) {
+  { s.EstimateUpperBound() } -> std::convertible_to<double>;
+};
+
+/// \brief Batch scratch storage: a vector of the factory's pre-hashed type
+/// when the fast path applies, an empty stand-in otherwise.
+template <typename Factory, typename Sketch>
+struct PrehashBuffer {
+  struct Unused {};
+  using type = Unused;
+};
+
+template <typename Factory, typename Sketch>
+  requires PreHashedIngest<Factory, Sketch>
+struct PrehashBuffer<Factory, Sketch> {
+  using type = std::vector<std::decay_t<
+      decltype(std::declval<const Factory&>().Prehash(uint64_t{0}))>>;
+};
+
+}  // namespace internal
+
 /// \brief Summary for correlated aggregate queries f(S, c) = f({x : y <= c})
 /// where c is supplied at query time (Section 2 of the paper).
 ///
@@ -91,16 +161,25 @@ class CorrelatedSketch {
         y_max_(RoundUpToDyadicDomain(options.y_max)),
         alpha_(options.Alpha()),
         max_level_(options.MaxLevel()),
-        levels_(max_level_ + 1) {
+        check_interval_(std::max<uint32_t>(1, options.est_check_interval)),
+        levels_(max_level_ + 1),
+        tail_(factory_.Create()) {
     // Algorithm 1: every level l >= 1 starts with a single open root bucket
-    // spanning [0, ymax]; Y_l starts at infinity.
+    // spanning [0, ymax]; Y_l starts at infinity. The closing threshold
+    // 2^(l+1) is fixed per level, so it is computed here, once.
     for (uint32_t l = 1; l <= max_level_; ++l) {
       Level& level = levels_[l];
       level.nodes.emplace_back(DyadicInterval{0, y_max_}, factory_.Create());
       level.root = 0;
       level.stored = 1;
-      level.leaves_by_lo.emplace(0, 0);
+      level.close_threshold = std::ldexp(1.0, static_cast<int>(l) + 1);
+      level.leaves_by_lo.push_back(LeafRef{0, 0});
     }
+    // All levels start in the virtual root pool (their roots are identical
+    // empty sketches). A budget of alpha <= 1 would discard a level's root
+    // on its very first insert, which the pool cannot represent — fall back
+    // to fully materialized levels in that (test-only) regime.
+    first_virtual_ = alpha_ >= 2 ? 1 : max_level_ + 1;
   }
 
   /// \brief Algorithm 2: routes (x, y) into one bucket per level.
@@ -110,23 +189,41 @@ class CorrelatedSketch {
   void Insert(uint64_t x, uint64_t y, int64_t weight = 1) {
     y = std::min(y, y_max_);
     ++tuples_inserted_;
-    InsertLevel0(x, y, weight);
-    for (uint32_t l = 1; l <= max_level_; ++l) {
-      // Paper line 8 `return`s; we `continue` (see file comment).
-      if (y >= levels_[l].y_threshold) continue;
-      InsertTreeLevel(l, x, y, weight);
+    if constexpr (kPreHashedIngest) {
+      // Hash once; every bucket sketch of this summary shares the family.
+      const auto ph = factory_.Prehash(x);
+      InsertRouted(ph, y, weight);
+    } else {
+      InsertRouted(x, y, weight);
     }
   }
 
   void Insert(const Tuple& t) { Insert(t.x, t.y, 1); }
 
-  /// \brief Batched insertion in non-decreasing y order (the amortization of
-  /// Lemma 9): sorting a batch makes consecutive tree descents hit the same
-  /// root-to-leaf paths while they are cache-resident.
-  void InsertBatch(std::vector<Tuple> batch) {
-    std::sort(batch.begin(), batch.end(),
-              [](const Tuple& a, const Tuple& b) { return a.y < b.y; });
-    for (const Tuple& t : batch) Insert(t.x, t.y, 1);
+  /// \brief Batched insertion: exactly equivalent to calling Insert on each
+  /// tuple in order (the equivalence is tested, not aspirational), but
+  /// processed as one pre-hash pass followed by level-major routing so each
+  /// level's tree stays cache-resident (the amortization of Lemma 9).
+  /// Callers keep ownership of the buffer and can reuse its capacity.
+  void InsertBatch(std::span<const Tuple> batch) {
+    if (batch.empty()) return;
+    tuples_inserted_ += batch.size();
+    if constexpr (kPreHashedIngest) {
+      prehash_scratch_.clear();
+      prehash_scratch_.reserve(batch.size());
+      for (const Tuple& t : batch) {
+        prehash_scratch_.push_back(factory_.Prehash(t.x));
+      }
+      RunBatch(batch, [this](size_t i) -> decltype(auto) {
+        return (prehash_scratch_[i]);
+      });
+    } else {
+      RunBatch(batch, [batch](size_t i) { return batch[i].x; });
+    }
+  }
+
+  void InsertBatch(std::initializer_list<Tuple> batch) {
+    InsertBatch(std::span<const Tuple>(batch.begin(), batch.size()));
   }
 
   /// \brief Algorithm 3: point estimate of f(S, c).
@@ -143,10 +240,10 @@ class CorrelatedSketch {
     // Level 0 answers if no singleton at or below c was ever discarded.
     if (level0_threshold_ > c) {
       MergedResult r{factory_.Create(), 0, 0};
-      for (auto it = singletons_.begin();
-           it != singletons_.end() && it->first <= c; ++it) {
+      for (const auto& [y, sketch] : singletons_) {
+        if (y > c) break;  // sorted by y: the merged prefix is contiguous
         // Merging sketches of one family cannot fail; surface bugs loudly.
-        Status st = r.sketch.MergeFrom(it->second);
+        Status st = r.sketch.MergeFrom(sketch);
         if (!st.ok()) return st;
         ++r.merged_buckets;
       }
@@ -156,6 +253,18 @@ class CorrelatedSketch {
       const Level& level = levels_[l];
       if (level.y_threshold <= c) continue;
       MergedResult r{factory_.Create(), l, 0};
+      if (l >= first_virtual_) {
+        // Virtual level: its single open root (span [0, ymax]) physically
+        // lives in the shared tail. The root is in B1 only when the clamped
+        // cutoff covers the whole domain; otherwise it straddles c and is
+        // excluded, exactly as a materialized root would be.
+        if (c >= y_max_) {
+          Status st = r.sketch.MergeFrom(tail_);
+          if (!st.ok()) return st;
+          ++r.merged_buckets;
+        }
+        return r;
+      }
       for (const Node& node : level.nodes) {
         if (!node.live || !node.span.ContainedInPrefix(c)) continue;
         Status st = r.sketch.MergeFrom(node.sketch);
@@ -178,6 +287,12 @@ class CorrelatedSketch {
   uint32_t max_level() const { return max_level_; }
   uint64_t tuples_inserted() const { return tuples_inserted_; }
 
+  /// \brief Levels currently represented by the shared virtual root (their
+  /// root bucket never closed, so their contents are identical).
+  uint32_t VirtualRootLevels() const {
+    return first_virtual_ > max_level_ ? 0 : max_level_ - first_virtual_ + 1;
+  }
+
   /// \brief Y_l: the smallest left endpoint ever discarded at level l
   /// (UINT64_MAX while the level is complete). Level 0 is the singleton
   /// level.
@@ -196,7 +311,9 @@ class CorrelatedSketch {
     return total;
   }
 
-  /// \brief Bytes held by all bucket sketches plus bucket metadata.
+  /// \brief Bytes held by all bucket sketches plus bucket metadata
+  /// (physical: the tail shared by all virtual levels is counted once —
+  /// that sharing is part of this structure's space advantage).
   size_t SizeBytes() const {
     size_t total = 0;
     for (const auto& [y, sketch] : singletons_) {
@@ -207,6 +324,7 @@ class CorrelatedSketch {
         if (node.live) total += node.sketch.SizeBytes() + sizeof(Node);
       }
     }
+    if (first_virtual_ <= max_level_) total += tail_.SizeBytes();
     return total;
   }
 
@@ -268,10 +386,9 @@ class CorrelatedSketch {
       for (size_t i = 0; i < level.nodes.size(); ++i) {
         const Node& node = level.nodes[i];
         if (!node.live || node.left >= 0 || node.right >= 0) continue;
-        auto it = level.leaves_by_lo.find(node.span.lo);
+        const LeafRef* ref = FindLeafRef(level, node.span.lo);
         const bool indexed =
-            it != level.leaves_by_lo.end() &&
-            it->second == static_cast<int32_t>(i);
+            ref != nullptr && ref->idx == static_cast<int32_t>(i);
         if (!indexed && node.span.lo < level.y_threshold) {
           return Status::Internal(
               "unindexed childless node below the discard threshold");
@@ -282,7 +399,11 @@ class CorrelatedSketch {
   }
 
   /// \brief The paper's space metric (Section 5): stored counters plus two
-  /// endpoints per bucket, in tuple units.
+  /// endpoints per bucket, in tuple units. This is the *logical* metric of
+  /// Algorithms 1-3 — each virtual level is charged for its own root (whose
+  /// contents equal the shared tail) — so figures stay comparable with
+  /// implementations that do not deduplicate identical roots; SizeBytes
+  /// reports the deduplicated physical footprint.
   size_t StoredTuplesEquivalent() const {
     size_t total = 0;
     for (const auto& [y, sketch] : singletons_) {
@@ -293,10 +414,14 @@ class CorrelatedSketch {
         if (node.live) total += node.sketch.CounterCount() + 2;
       }
     }
+    total += static_cast<size_t>(VirtualRootLevels()) * tail_.CounterCount();
     return total;
   }
 
  private:
+  static constexpr bool kPreHashedIngest =
+      internal::PreHashedIngest<Factory, Sketch>;
+
   struct Node {
     DyadicInterval span;
     Sketch sketch;
@@ -310,88 +435,230 @@ class CorrelatedSketch {
     Node(DyadicInterval s, Sketch sk) : span(s), sketch(std::move(sk)) {}
   };
 
+  /// \brief One leaf-index entry: live leaves sorted by span.lo. A flat
+  /// vector beats the former std::map here: alpha is small, lookups are
+  /// binary searches over contiguous memory, splits are a single in-place
+  /// insert, and budget discards only ever pop the back.
+  struct LeafRef {
+    uint64_t lo;
+    int32_t idx;
+  };
+
   struct Level {
     std::vector<Node> nodes;
     std::vector<int32_t> free_slots;
-    std::map<uint64_t, int32_t> leaves_by_lo;  // live leaves keyed by span.lo
+    std::vector<LeafRef> leaves_by_lo;  // live leaves sorted by span.lo
     int32_t root = -1;
+    int32_t cursor = -1;  // last leaf inserted into (routing hint)
     size_t stored = 0;
     uint64_t y_threshold = UINT64_MAX;  // Y_l of the paper
+    double close_threshold = 0.0;       // 2^(l+1), fixed at construction
   };
+
+  // ---- Routing -------------------------------------------------------------
+
+  template <typename Arg>
+  void InsertRouted(const Arg& item, uint64_t y, int64_t weight) {
+    InsertLevel0(item, y, weight);
+    for (uint32_t l = 1; l < first_virtual_; ++l) {
+      // Paper line 8 `return`s; we `continue` (see file comment).
+      if (y >= levels_[l].y_threshold) continue;
+      InsertTreeLevel(levels_[l], item, y, weight);
+    }
+    // One update covers every virtual level: their roots are all still open
+    // with Y_l = infinity, so each would have absorbed this arrival.
+    if (first_virtual_ <= max_level_) InsertVirtualTail(item, weight);
+  }
+
+  /// \brief Level-major batch routing. Levels share no state (each level's
+  /// thresholds and tree evolve only from its own inserts), so running the
+  /// whole batch through level 0, then through each tree level, reproduces
+  /// one-at-a-time insertion exactly while touching one level's working set
+  /// at a time. Levels materialized out of the virtual pool mid-batch
+  /// resume their own tree from the tuple after the one that closed their
+  /// root (that tuple itself was absorbed by the tail, i.e. by their root).
+  template <typename ItemAt>
+  void RunBatch(std::span<const Tuple> batch, ItemAt item_at) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      InsertLevel0(item_at(i), std::min(batch[i].y, y_max_), 1);
+    }
+    const uint32_t real_end = first_virtual_;
+    for (uint32_t l = 1; l < real_end; ++l) {
+      RunBatchTreeLevel(levels_[l], batch, item_at, 0);
+    }
+    if (first_virtual_ <= max_level_) {
+      struct Resume {
+        uint32_t level;
+        size_t from;
+      };
+      std::vector<Resume> resumes;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        const uint32_t before = first_virtual_;
+        InsertVirtualTail(item_at(i), 1);
+        for (uint32_t l = before; l < first_virtual_; ++l) {
+          resumes.push_back(Resume{l, i + 1});
+        }
+      }
+      for (const Resume& r : resumes) {
+        RunBatchTreeLevel(levels_[r.level], batch, item_at, r.from);
+      }
+    }
+  }
+
+  template <typename ItemAt>
+  void RunBatchTreeLevel(Level& level, std::span<const Tuple> batch,
+                         ItemAt item_at, size_t from) {
+    for (size_t i = from; i < batch.size(); ++i) {
+      const uint64_t y = std::min(batch[i].y, y_max_);
+      if (y >= level.y_threshold) continue;
+      InsertTreeLevel(level, item_at(i), y, 1);
+    }
+  }
+
+  // ---- Virtual root pool ---------------------------------------------------
+
+  template <typename Arg>
+  void InsertVirtualTail(const Arg& item, int64_t weight) {
+    tail_.Insert(item, weight);
+    // One shared check counter: every virtual root receives every arrival,
+    // so their per-bucket counters would all sit at exactly this value.
+    if (++tail_checks_ < check_interval_) return;
+    tail_checks_ = 0;
+    // Close thresholds grow with the level, so the levels whose closing
+    // condition holds form a prefix of the virtual suffix.
+    while (first_virtual_ <= max_level_ &&
+           EstimateReaches(tail_, levels_[first_virtual_].close_threshold)) {
+      MaterializeLowestVirtual();
+    }
+  }
+
+  /// \brief Gives the lowest virtual level its own root — a lossless merge
+  /// of the shared tail, closed at this exact instant, just as its privately
+  /// maintained root would have been.
+  void MaterializeLowestVirtual() {
+    Level& level = levels_[first_virtual_];
+    Node& root = level.nodes[level.root];
+    // Same family by construction, so the merge cannot fail; assert rather
+    // than propagate (a failure here would mean a closed root missing its
+    // history — an invariant violation worth crashing a debug build over).
+    Status st = root.sketch.MergeFrom(tail_);
+    assert(st.ok());
+    (void)st;
+    root.open = false;
+    root.inserts_since_check = tail_checks_;  // 0: the check just ran
+    ++first_virtual_;
+  }
 
   // ---- Level 0: singleton buckets ------------------------------------------
 
-  void InsertLevel0(uint64_t x, uint64_t y, int64_t weight) {
+  // The singleton store is a flat sorted vector: lookups are contiguous
+  // binary searches and discards pop the back. A *new* y below the
+  // threshold pays an O(alpha) element shift, which is the right trade at
+  // the budgets the practical policy produces (hundreds); configurations
+  // with alpha in the tens of thousands (eps <~ 0.02) spend their time in
+  // per-bucket sketch work long before this shift matters.
+  template <typename Arg>
+  void InsertLevel0(const Arg& item, uint64_t y, int64_t weight) {
     // Items at or beyond the discard threshold were already given up on;
     // inserting them would only recreate buckets destined for discard.
     if (y >= level0_threshold_) return;
-    auto it = singletons_.find(y);
-    if (it == singletons_.end()) {
-      it = singletons_.emplace(y, factory_.Create()).first;
+    auto it = std::lower_bound(
+        singletons_.begin(), singletons_.end(), y,
+        [](const auto& entry, uint64_t key) { return entry.first < key; });
+    if (it == singletons_.end() || it->first != y) {
+      it = singletons_.emplace(it, y, factory_.Create());
     }
-    it->second.Insert(x, weight);
+    it->second.Insert(item, weight);
     if (singletons_.size() > alpha_) {
       // Discard the singleton with the largest y; Y_0 <- min(Y_0, that y).
-      auto last = std::prev(singletons_.end());
-      level0_threshold_ = std::min(level0_threshold_, last->first);
-      singletons_.erase(last);
+      level0_threshold_ = std::min(level0_threshold_, singletons_.back().first);
+      singletons_.pop_back();
     }
   }
 
   // ---- Levels >= 1: dyadic bucket trees ------------------------------------
 
-  double CloseThreshold(uint32_t l) const {
-    return std::ldexp(1.0, static_cast<int>(l) + 1);  // 2^(l+1)
-  }
-
-  void InsertTreeLevel(uint32_t l, uint64_t x, uint64_t y, int64_t weight) {
-    Level& level = levels_[l];
-    // Descend to the leaf whose span contains y (Algorithm 2 line 10).
+  /// \brief The live childless node whose span contains y, or -1 if y routes
+  /// into a discarded subtree. The cursor shortcut is exact: leaf spans are
+  /// disjoint, and childless interior nodes (fully discarded subtrees) have
+  /// span.lo >= Y_l, so they can never contain a y the threshold test let
+  /// through.
+  int32_t FindLeaf(const Level& level, uint64_t y) const {
+    const int32_t cur = level.cursor;
+    if (cur >= 0) {
+      const Node& hint = level.nodes[cur];
+      if (hint.live && hint.left < 0 && hint.right < 0 &&
+          hint.span.Contains(y)) {
+        return cur;
+      }
+    }
     int32_t idx = level.root;
+    if (idx < 0) return -1;  // level fully discarded (only with tiny alpha)
     while (true) {
-      Node& node = level.nodes[idx];
-      if (node.left < 0 && node.right < 0) break;  // leaf (or childless)
-      const int32_t next =
-          node.span.YInLeftChild(y) ? node.left : node.right;
+      const Node& node = level.nodes[idx];
+      if (node.left < 0 && node.right < 0) return idx;
+      const int32_t next = node.span.YInLeftChild(y) ? node.left : node.right;
       if (next < 0) {
         // The child containing y was discarded, so y >= Y_l; unreachable
-        // because of the threshold test in Insert, kept as a guard.
-        return;
+        // because of the threshold test in the callers, kept as a guard.
+        return -1;
       }
       idx = next;
     }
+  }
 
-    Node& leaf = level.nodes[idx];
-    if (leaf.open) {
-      // Algorithm 2 lines 11-14: absorb, then test the closing condition
-      // est(k(b)) >= 2^(l+1) (singleton spans never close).
-      leaf.sketch.Insert(x, weight);
-      if (++leaf.inserts_since_check >= options_.est_check_interval) {
-        leaf.inserts_since_check = 0;
-        if (!leaf.span.IsSingleton() &&
-            leaf.sketch.Estimate() >= CloseThreshold(l)) {
-          leaf.open = false;
-        }
-      }
-    } else {
+  template <typename Arg>
+  void InsertTreeLevel(Level& level, const Arg& item, uint64_t y,
+                       int64_t weight) {
+    // Algorithm 2 line 10: the leaf whose span contains y.
+    int32_t idx = FindLeaf(level, y);
+    if (idx < 0) return;
+    if (!level.nodes[idx].open) {
       // Algorithm 2 lines 15-17: split the closed leaf into its dyadic
-      // children and route the arrival into the matching child.
+      // children and route the arrival into the matching child. Pre-charging
+      // the child's check counter makes the shared closing test below fire
+      // on this very insert — a heavy first arrival can close immediately,
+      // exactly as the dedicated split-path check used to behave.
       SplitLeaf(level, idx);
-      Node& parent = level.nodes[idx];
-      const int32_t child_idx =
-          parent.span.YInLeftChild(y) ? parent.left : parent.right;
-      Node& child = level.nodes[child_idx];
-      child.sketch.Insert(x, weight);
-      if (!child.span.IsSingleton() &&
-          child.sketch.Estimate() >= CloseThreshold(l)) {
-        child.open = false;  // a heavy first arrival can close immediately
+      const Node& parent = level.nodes[idx];
+      idx = parent.span.YInLeftChild(y) ? parent.left : parent.right;
+      level.nodes[idx].inserts_since_check = check_interval_ - 1;
+    }
+    Node& node = level.nodes[idx];
+    level.cursor = idx;
+    // Algorithm 2 lines 11-14: absorb, then test the closing condition
+    // est(k(b)) >= 2^(l+1) (singleton spans never close).
+    node.sketch.Insert(item, weight);
+    if (++node.inserts_since_check >= check_interval_) {
+      node.inserts_since_check = 0;
+      if (!node.span.IsSingleton() && EstimateReaches(node.sketch,
+                                                     level.close_threshold)) {
+        node.open = false;
       }
     }
-
     // Algorithm 2 lines 18-21: bucket budget overflow.
     while (level.stored >= alpha_ && !level.leaves_by_lo.empty()) {
       DiscardRightmostLeaf(level);
     }
+  }
+
+  /// \brief `sketch.Estimate() >= threshold`, skipping the full estimate
+  /// whenever a cheap certain upper bound already rules it out. This elides
+  /// the per-insert median computation for the many high-level root buckets
+  /// far from closing, without changing any closing decision.
+  static bool EstimateReaches(const Sketch& sketch, double threshold) {
+    if constexpr (internal::HasEstimateUpperBound<Sketch>) {
+      if (sketch.EstimateUpperBound() < threshold) return false;
+    }
+    return sketch.Estimate() >= threshold;
+  }
+
+  const LeafRef* FindLeafRef(const Level& level, uint64_t lo) const {
+    auto it = std::lower_bound(
+        level.leaves_by_lo.begin(), level.leaves_by_lo.end(), lo,
+        [](const LeafRef& ref, uint64_t key) { return ref.lo < key; });
+    if (it == level.leaves_by_lo.end() || it->lo != lo) return nullptr;
+    return &*it;
   }
 
   int32_t AllocateNode(Level& level, DyadicInterval span) {
@@ -416,14 +683,18 @@ class CorrelatedSketch {
     level.nodes[right].parent = idx;
     level.stored += 2;
     // The parent stops being a leaf; both children start as leaves. The
-    // left child shares the parent's lo key.
-    level.leaves_by_lo[span.lo] = left;
-    level.leaves_by_lo[level.nodes[right].span.lo] = right;
+    // left child inherits the parent's index entry (same lo key), the right
+    // child slots in immediately after it.
+    auto it = std::lower_bound(
+        level.leaves_by_lo.begin(), level.leaves_by_lo.end(), span.lo,
+        [](const LeafRef& ref, uint64_t key) { return ref.lo < key; });
+    it->idx = left;
+    level.leaves_by_lo.insert(
+        it + 1, LeafRef{level.nodes[right].span.lo, right});
   }
 
   void DiscardRightmostLeaf(Level& level) {
-    auto it = std::prev(level.leaves_by_lo.end());
-    const int32_t idx = it->second;
+    const int32_t idx = level.leaves_by_lo.back().idx;
     Node& node = level.nodes[idx];
     level.y_threshold = std::min(level.y_threshold, node.span.lo);
     if (node.parent >= 0) {
@@ -436,7 +707,7 @@ class CorrelatedSketch {
     // Release the sketch's memory now; the slot may sit unused for a while
     // and a discarded dense sketch would otherwise pin its counter matrix.
     node.sketch = factory_.Create();
-    level.leaves_by_lo.erase(it);
+    level.leaves_by_lo.pop_back();
     level.free_slots.push_back(idx);
     --level.stored;
   }
@@ -446,11 +717,19 @@ class CorrelatedSketch {
   uint64_t y_max_;
   uint32_t alpha_;
   uint32_t max_level_;
+  uint32_t check_interval_;
   uint64_t tuples_inserted_ = 0;
 
-  std::map<uint64_t, Sketch> singletons_;     // level 0
+  // Level 0: singleton buckets sorted by y (discards pop the back).
+  std::vector<std::pair<uint64_t, Sketch>> singletons_;
   uint64_t level0_threshold_ = UINT64_MAX;    // Y_0
   std::vector<Level> levels_;                 // levels_[1..max_level_]
+  // Virtual root pool: one physical sketch standing in for the identical
+  // open roots of every level in [first_virtual_, max_level_].
+  Sketch tail_;
+  uint32_t tail_checks_ = 0;
+  uint32_t first_virtual_ = 1;
+  typename internal::PrehashBuffer<Factory, Sketch>::type prehash_scratch_;
 };
 
 }  // namespace castream

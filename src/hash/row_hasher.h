@@ -2,6 +2,8 @@
 #ifndef CASTREAM_HASH_ROW_HASHER_H_
 #define CASTREAM_HASH_ROW_HASHER_H_
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -45,6 +47,32 @@ class RowHasher {
 /// and sharing keeps the per-bucket footprint equal to the counter array.
 class RowHashSet {
  public:
+  /// \brief Rows covered by one PreHashed value. The dimension formulas in
+  /// sketch_params.h / count_min.h cap depth at 12, so in practice a
+  /// PreHashed covers every row; deeper hand-built layouts fall back to
+  /// on-demand hashing for the uncovered rows.
+  static constexpr uint32_t kMaxPreHashDepth = 12;
+
+  /// \brief The per-row randomness of one item, computed once and reused.
+  ///
+  /// All bucket sketches of one family share a single RowHashSet (property
+  /// (b) of sketching functions), so a tuple routed into many buckets — the
+  /// correlated framework inserts each arrival into up to lmax level trees —
+  /// hashes once here and every subsequent Insert is pure counter
+  /// arithmetic. This is the Thorup–Zhang "hash once per record" observation
+  /// the paper's fast per-record processing rests on (Section 3.1, Lemma 9).
+  struct PreHashed {
+    uint64_t x = 0;
+    uint16_t sign_bits = 0;  // bit d set => sign +1 for row d
+    uint8_t depth = 0;       // rows filled; 0 means "not computed yet"
+    std::array<uint32_t, kMaxPreHashDepth> bucket{};
+
+    bool Computed() const { return depth != 0; }
+    int64_t Sign(uint32_t d) const {
+      return ((sign_bits >> d) & 1) ? int64_t{1} : int64_t{-1};
+    }
+  };
+
   /// \brief Builds `depth` independent rows over counters of size `width`
   /// (width must be a power of two).
   RowHashSet(uint64_t seed, uint32_t depth, uint32_t width)
@@ -57,6 +85,26 @@ class RowHashSet {
   const RowHasher& row(uint32_t d) const { return rows_[d]; }
   uint32_t depth() const { return static_cast<uint32_t>(rows_.size()); }
   uint32_t width() const { return width_; }
+
+  /// \brief Computes x's (bucket, sign) for every row, once.
+  void Prehash(uint64_t x, PreHashed& out) const {
+    out.x = x;
+    const uint32_t covered = std::min(depth(), kMaxPreHashDepth);
+    out.depth = static_cast<uint8_t>(covered);
+    uint16_t signs = 0;
+    for (uint32_t d = 0; d < covered; ++d) {
+      out.bucket[d] = rows_[d].Bucket(x);
+      signs |= static_cast<uint16_t>(static_cast<uint16_t>(rows_[d].Sign(x) > 0)
+                                     << d);
+    }
+    out.sign_bits = signs;
+  }
+
+  PreHashed Prehash(uint64_t x) const {
+    PreHashed out;
+    Prehash(x, out);
+    return out;
+  }
 
  private:
   std::vector<RowHasher> rows_;

@@ -58,6 +58,15 @@ class AmsF2SketchFactory {
   /// \brief New empty sketch of this family (starts in sparse mode).
   AmsF2Sketch Create() const;
 
+  /// \brief Computes x's per-row randomness once; the result feeds the
+  /// Insert(PreHashed) overload of every sketch in this family.
+  RowHashSet::PreHashed Prehash(uint64_t x) const {
+    return hashes_->Prehash(x);
+  }
+  void Prehash(uint64_t x, RowHashSet::PreHashed& out) const {
+    hashes_->Prehash(x, out);
+  }
+
   uint32_t depth() const { return hashes_->depth(); }
   uint32_t width() const { return hashes_->width(); }
 
@@ -75,12 +84,25 @@ class AmsF2Sketch {
   void Insert(uint64_t x, int64_t weight) {
     count_ += weight;
     if (!counters_.has_value()) {
-      InsertSparse(x, weight);
+      InsertSparse(x, nullptr, weight);
       return;
     }
     InsertDense(x, weight);
   }
   void Insert(uint64_t x) { Insert(x, 1); }
+
+  /// \brief Pre-hashed insert: identical effect to Insert(ph.x, weight), but
+  /// the dense path is pure counter arithmetic — zero hash evaluations. The
+  /// sparse path stores `ph` alongside the entry so densification never
+  /// re-hashes either.
+  void Insert(const RowHashSet::PreHashed& ph, int64_t weight = 1) {
+    count_ += weight;
+    if (!counters_.has_value()) {
+      InsertSparse(ph.x, &ph, weight);
+      return;
+    }
+    InsertDense(ph, weight);
+  }
 
   /// \brief Median-of-rows estimate of F2 (exact while sparse). O(depth).
   double Estimate() const {
@@ -95,6 +117,21 @@ class AmsF2Sketch {
     return 0.5 * (static_cast<double>(lo) + static_cast<double>(scratch_[mid]));
   }
 
+  /// \brief Cheap certain upper bound on Estimate(): the maximum per-row sum
+  /// of squares (the median over rows can never exceed the max row), or the
+  /// exact sum of squares while sparse. O(depth), no scratch copy, no
+  /// selection — callers that only need to test `Estimate() >= t` (the
+  /// bucket-closing rule of Algorithm 2) can skip the full median whenever
+  /// this bound is still below t, without changing a single decision.
+  double EstimateUpperBound() const {
+    if (!counters_.has_value()) return static_cast<double>(sparse_ss_);
+    int64_t worst = row_ss_[0];
+    for (size_t d = 1; d < row_ss_.size(); ++d) {
+      worst = std::max(worst, row_ss_[d]);
+    }
+    return static_cast<double>(worst);
+  }
+
   /// \brief Adds another sketch of the same family into this one.
   Status MergeFrom(const AmsF2Sketch& other) {
     if (other.hashes_ != hashes_) {
@@ -102,12 +139,13 @@ class AmsF2Sketch {
           "AmsF2Sketch::MergeFrom: sketches from different families");
     }
     if (!other.counters_.has_value()) {
-      // Replaying the other side's exact entries works into either mode.
-      for (const auto& [x, w] : other.sparse_) {
+      // Replaying the other side's exact entries works into either mode; the
+      // entries carry their pre-hashed rows, so no re-hashing happens here.
+      for (const SparseEntry& e : other.sparse_) {
         if (counters_.has_value()) {
-          InsertDense(x, w);
+          InsertDense(e.ph, e.w);
         } else {
-          InsertSparse(x, w);
+          InsertSparse(e.ph.x, &e.ph, e.w);
         }
       }
       count_ += other.count_;
@@ -144,8 +182,15 @@ class AmsF2Sketch {
 
  private:
   friend class AmsF2SketchFactory;
+  // `ph.x` is the item; `ph` is populated lazily (only inserts that came in
+  // pre-hashed carry rows), so densification re-hashes at most the entries
+  // that were never pre-hashed. Deliberate trade-off: carrying the rows
+  // grows a sparse entry from 16 to ~72 bytes — still below the dense
+  // matrix at the capacity where Densify() fires, and typical framework
+  // buckets hold only a handful of entries — in exchange for hash-free
+  // densification and sparse-replay merges.
   struct SparseEntry {
-    uint64_t x;
+    RowHashSet::PreHashed ph;
     int64_t w;
   };
 
@@ -160,20 +205,33 @@ class AmsF2Sketch {
     return std::clamp<size_t>(cells / 8, 16, 128);
   }
 
-  void InsertSparse(uint64_t x, int64_t weight) {
+  // Kept out of line so the (long-run) dense insert path stays small enough
+  // to inline into callers' hot loops; a sketch leaves sparse mode for good
+  // after at most SparseCapacity() + 1 inserts.
+  [[gnu::noinline]] void InsertSparse(uint64_t x,
+                                      const RowHashSet::PreHashed* ph,
+                                      int64_t weight) {
     for (size_t i = 0; i < sparse_.size(); ++i) {
       SparseEntry& e = sparse_[i];
-      if (e.x == x) {
+      if (e.ph.x == x) {
         // (w+d)^2 - w^2 maintains the exact sum of squares incrementally.
         sparse_ss_ += 2 * e.w * weight + weight * weight;
         e.w += weight;
+        if (ph != nullptr && !e.ph.Computed()) e.ph = *ph;
         // Transpose heuristic: hot items drift toward the front, keeping
         // the linear scan short on skewed streams.
         if (i > 0) std::swap(sparse_[i], sparse_[i - 1]);
         return;
       }
     }
-    sparse_.push_back(SparseEntry{x, weight});
+    SparseEntry entry;
+    if (ph != nullptr) {
+      entry.ph = *ph;
+    } else {
+      entry.ph.x = x;
+    }
+    entry.w = weight;
+    sparse_.push_back(entry);
     sparse_ss_ += weight * weight;
     if (sparse_.size() > SparseCapacity()) Densify();
   }
@@ -191,10 +249,35 @@ class AmsF2Sketch {
     }
   }
 
+  // Hash-free dense update; rows beyond ph.depth (never produced by the
+  // factories in this repo, see kMaxPreHashDepth) hash on demand.
+  void InsertDense(const RowHashSet::PreHashed& ph, int64_t weight) {
+    const RowHashSet& h = *hashes_;
+    const uint32_t depth = h.depth();
+    for (uint32_t d = 0; d < depth; ++d) {
+      int64_t sign;
+      uint32_t bucket;
+      if (d < ph.depth) {
+        sign = ph.Sign(d);
+        bucket = ph.bucket[d];
+      } else {
+        const RowHasher& row = h.row(d);
+        sign = row.Sign(ph.x);
+        bucket = row.Bucket(ph.x);
+      }
+      const int64_t delta = sign * weight;
+      const int64_t old = counters_->AddAndReturnOld(d, bucket, delta);
+      row_ss_[d] += 2 * old * delta + delta * delta;
+    }
+  }
+
   void Densify() {
     counters_.emplace(hashes_->depth(), hashes_->width());
     row_ss_.assign(hashes_->depth(), 0);
-    for (const SparseEntry& e : sparse_) InsertDense(e.x, e.w);
+    // Entries inserted pre-hashed replay without any hashing; entries whose
+    // ph was never computed fall back to on-demand hashing inside
+    // InsertDense (ph.depth == 0 routes every row there).
+    for (const SparseEntry& e : sparse_) InsertDense(e.ph, e.w);
     sparse_.clear();
     sparse_.shrink_to_fit();
     sparse_ss_ = 0;

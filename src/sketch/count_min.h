@@ -46,6 +46,16 @@ class CountMinSketchFactory {
 
   CountMinSketch Create() const;
 
+  /// \brief Computes x's per-row randomness once; the result feeds the
+  /// Insert(PreHashed) overload of every sketch in this family (the sign
+  /// bits are unused by Count-Min's unsigned counters).
+  RowHashSet::PreHashed Prehash(uint64_t x) const {
+    return hashes_->Prehash(x);
+  }
+  void Prehash(uint64_t x, RowHashSet::PreHashed& out) const {
+    hashes_->Prehash(x, out);
+  }
+
   uint32_t depth() const { return hashes_->depth(); }
   uint32_t width() const { return hashes_->width(); }
 
@@ -69,6 +79,25 @@ class CountMinSketch {
     const RowHashSet& h = *hashes_;
     for (uint32_t d = 0; d < h.depth(); ++d) {
       counters_.AddAndReturnOld(d, h.row(d).Bucket(x), weight);
+    }
+    total_ += weight;
+    return Status::OK();
+  }
+
+  /// \brief Pre-hashed insert: identical effect to Insert(ph.x, weight) with
+  /// zero hash evaluations for the rows ph covers.
+  Status Insert(const RowHashSet::PreHashed& ph, int64_t weight = 1) {
+    if (weight < 0) {
+      return Status::InvalidArgument(
+          "CountMinSketch is insert-only (cash-register model); use "
+          "CountSketch for turnstile updates");
+    }
+    const RowHashSet& h = *hashes_;
+    const uint32_t depth = h.depth();
+    for (uint32_t d = 0; d < depth; ++d) {
+      const uint32_t bucket =
+          d < ph.depth ? ph.bucket[d] : h.row(d).Bucket(ph.x);
+      counters_.AddAndReturnOld(d, bucket, weight);
     }
     total_ += weight;
     return Status::OK();

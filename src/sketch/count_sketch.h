@@ -38,6 +38,15 @@ class CountSketchFactory {
 
   CountSketch Create() const;
 
+  /// \brief Computes x's per-row randomness once; the result feeds the
+  /// Insert(PreHashed) overload of every sketch in this family.
+  RowHashSet::PreHashed Prehash(uint64_t x) const {
+    return hashes_->Prehash(x);
+  }
+  void Prehash(uint64_t x, RowHashSet::PreHashed& out) const {
+    hashes_->Prehash(x, out);
+  }
+
   uint32_t depth() const { return hashes_->depth(); }
   uint32_t width() const { return hashes_->width(); }
 
@@ -54,17 +63,27 @@ class CountSketch {
   /// \brief Adds `weight` to item x's frequency.
   void Insert(uint64_t x, int64_t weight = 1) {
     if (!counters_.has_value()) {
-      InsertSparse(x, weight);
+      InsertSparse(x, nullptr, weight);
       return;
     }
     InsertDense(x, weight);
+  }
+
+  /// \brief Pre-hashed insert: identical effect to Insert(ph.x, weight) with
+  /// a hash-free dense path (see AmsF2Sketch for the rationale).
+  void Insert(const RowHashSet::PreHashed& ph, int64_t weight = 1) {
+    if (!counters_.has_value()) {
+      InsertSparse(ph.x, &ph, weight);
+      return;
+    }
+    InsertDense(ph, weight);
   }
 
   /// \brief Estimate of item x's frequency (exact while sparse).
   double EstimateFrequency(uint64_t x) const {
     if (!counters_.has_value()) {
       for (const SparseEntry& e : sparse_) {
-        if (e.x == x) return static_cast<double>(e.w);
+        if (e.ph.x == x) return static_cast<double>(e.w);
       }
       return 0.0;
     }
@@ -103,7 +122,8 @@ class CountSketch {
           "CountSketch::MergeFrom: sketches from different families");
     }
     if (!other.counters_.has_value()) {
-      for (const SparseEntry& e : other.sparse_) Insert(e.x, e.w);
+      // Replay carries the stored pre-hashes, so merging never re-hashes.
+      for (const SparseEntry& e : other.sparse_) Insert(e.ph, e.w);
       return Status::OK();
     }
     if (!counters_.has_value()) Densify();
@@ -126,8 +146,11 @@ class CountSketch {
 
  private:
   friend class CountSketchFactory;
+  // `ph.x` is the item; `ph` is populated lazily so densification re-hashes
+  // at most the entries that were never pre-hashed (see AmsF2Sketch for the
+  // entry-size trade-off).
   struct SparseEntry {
-    uint64_t x;
+    RowHashSet::PreHashed ph;
     int64_t w;
   };
 
@@ -140,18 +163,30 @@ class CountSketch {
     return std::clamp<size_t>(cells / 8, 16, 128);
   }
 
-  void InsertSparse(uint64_t x, int64_t weight) {
+  // Out of line for the same hot-loop inlining reason as
+  // AmsF2Sketch::InsertSparse.
+  [[gnu::noinline]] void InsertSparse(uint64_t x,
+                                      const RowHashSet::PreHashed* ph,
+                                      int64_t weight) {
     for (size_t i = 0; i < sparse_.size(); ++i) {
       SparseEntry& e = sparse_[i];
-      if (e.x == x) {
+      if (e.ph.x == x) {
         e.w += weight;
+        if (ph != nullptr && !e.ph.Computed()) e.ph = *ph;
         // Transpose heuristic: hot items drift toward the front (see
         // AmsF2Sketch::InsertSparse).
         if (i > 0) std::swap(sparse_[i], sparse_[i - 1]);
         return;
       }
     }
-    sparse_.push_back(SparseEntry{x, weight});
+    SparseEntry entry;
+    if (ph != nullptr) {
+      entry.ph = *ph;
+    } else {
+      entry.ph.x = x;
+    }
+    entry.w = weight;
+    sparse_.push_back(entry);
     if (sparse_.size() > SparseCapacity()) Densify();
   }
 
@@ -163,9 +198,24 @@ class CountSketch {
     }
   }
 
+  // Hash-free dense update; rows beyond ph.depth hash on demand.
+  void InsertDense(const RowHashSet::PreHashed& ph, int64_t weight) {
+    const RowHashSet& h = *hashes_;
+    const uint32_t depth = h.depth();
+    for (uint32_t d = 0; d < depth; ++d) {
+      if (d < ph.depth) {
+        counters_->AddAndReturnOld(d, ph.bucket[d], ph.Sign(d) * weight);
+      } else {
+        const RowHasher& row = h.row(d);
+        counters_->AddAndReturnOld(d, row.Bucket(ph.x),
+                                   row.Sign(ph.x) * weight);
+      }
+    }
+  }
+
   void Densify() {
     counters_.emplace(hashes_->depth(), hashes_->width());
-    for (const SparseEntry& e : sparse_) InsertDense(e.x, e.w);
+    for (const SparseEntry& e : sparse_) InsertDense(e.ph, e.w);
     sparse_.clear();
     sparse_.shrink_to_fit();
   }

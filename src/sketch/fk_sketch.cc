@@ -37,6 +37,12 @@ const FkSketchOptions& FkSketchFactory::options() const {
 
 FkSketch FkSketchFactory::Create() const { return FkSketch(shared_); }
 
+FkPreHashed FkSketchFactory::Prehash(uint64_t x) const {
+  const uint64_t h = MixHash64(x, shared_->level_hash_seed);
+  const uint32_t lvl = static_cast<uint32_t>(LeadingZeros(h));
+  return FkPreHashed{x, std::min(lvl, shared_->options.levels - 1)};
+}
+
 FkSketch::FkSketch(std::shared_ptr<const FkSketchFactory::Shared> shared)
     : shared_(std::move(shared)) {
   levels_.reserve(shared_->options.levels);
@@ -87,6 +93,15 @@ void FkSketch::Insert(uint64_t x, int64_t weight) {
     level.cs.Insert(x, weight);
     level.kmv.Insert(x);
     AddCandidate(level, x);
+  }
+}
+
+void FkSketch::Insert(const FkPreHashed& ph, int64_t weight) {
+  for (uint32_t j = 0; j <= ph.max_level; ++j) {
+    Level& level = levels_[j];
+    level.cs.Insert(ph.x, weight);
+    level.kmv.Insert(ph.x);
+    AddCandidate(level, ph.x);
   }
 }
 
@@ -156,8 +171,13 @@ Status FkSketch::MergeFrom(const FkSketch& other) {
   for (uint32_t j = 0; j < levels_.size(); ++j) {
     CASTREAM_RETURN_NOT_OK(levels_[j].cs.MergeFrom(other.levels_[j].cs));
     CASTREAM_RETURN_NOT_OK(levels_[j].kmv.MergeFrom(other.levels_[j].kmv));
+    // No eager prune after the replay: AddCandidate already enforces the 2x
+    // bound, and an extra prune here would cut survivors by that instant's
+    // noisy frequency estimates. In particular, merging into an empty
+    // sketch must reproduce `other`'s candidate set exactly — the
+    // correlated framework's virtual root pool materializes level roots
+    // through this path and relies on the merge being lossless.
     for (uint64_t x : other.levels_[j].candidates) AddCandidate(levels_[j], x);
-    PruneCandidates(levels_[j]);
   }
   return Status::OK();
 }

@@ -47,6 +47,17 @@ struct FkSketchOptions {
 
 class FkSketch;
 
+/// \brief The per-item randomness of FkSketch's recursive subsampling,
+/// computed once per record: the deepest level x survives to. The per-level
+/// CountSketches use independent hash families (they must, for the
+/// Indyk-Woodruff analysis), so their hashing stays per-level; what the
+/// pre-hash removes is the level-assignment hash shared by every FkSketch
+/// of one family.
+struct FkPreHashed {
+  uint64_t x = 0;
+  uint32_t max_level = 0;
+};
+
 /// \brief Factory for mergeable FkSketch instances. All sketches of one
 /// factory share hash functions (shared_ptr-held, immutable), so they can be
 /// merged; the factory object itself may be destroyed before its sketches.
@@ -56,6 +67,10 @@ class FkSketchFactory {
 
   FkSketch Create() const;
   const FkSketchOptions& options() const;
+
+  /// \brief Computes x's subsample-level assignment once; feeds the
+  /// Insert(FkPreHashed) overload of every sketch in this family.
+  FkPreHashed Prehash(uint64_t x) const;
 
  private:
   friend class FkSketch;
@@ -71,6 +86,10 @@ class FkSketch {
   /// \brief Adds `weight` to item x's frequency. Expected O(depth) work:
   /// the number of levels an item updates is geometric with mean 2.
   void Insert(uint64_t x, int64_t weight = 1);
+
+  /// \brief Pre-hashed insert: identical effect to Insert(ph.x, weight)
+  /// without re-evaluating the level-assignment hash.
+  void Insert(const FkPreHashed& ph, int64_t weight = 1);
 
   /// \brief Two-part (heavy + subsampled light) estimate of Fk.
   double Estimate() const;

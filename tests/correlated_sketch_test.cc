@@ -201,11 +201,11 @@ TEST(CorrelatedSketchTest, BatchInsertPreservesAccuracy) {
     batch.push_back(t);
     truth.Insert(t.x, t.y);
     if (batch.size() == 1024) {
-      sketch.InsertBatch(std::move(batch));
+      sketch.InsertBatch(batch);  // borrows the buffer; capacity is kept
       batch.clear();
     }
   }
-  sketch.InsertBatch(std::move(batch));
+  sketch.InsertBatch(batch);
   for (uint64_t c : {4095ull, 16383ull, 65535ull}) {
     auto r = sketch.Query(c);
     if (!r.ok()) continue;
