@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # CTest-registered throughput regression gate.
 #
-# Re-runs bench_update_throughput briefly and fails if any benchmark drops
-# below GATE_FLOOR x its recorded "current" items/sec in BENCH_baseline.json.
-# The floor is deliberately generous (default 0.25): the gate exists to catch
+# Briefly re-runs the recorded bench binaries (bench_update_throughput plus
+# bench_sharded_ingest) and fails if any benchmark drops below GATE_FLOOR x
+# its recorded "current" items/sec in BENCH_baseline.json. The floor is
+# deliberately generous (default 0.25): the gate exists to catch
 # order-of-magnitude rot — an accidentally quadratic hot path, a lost fast
 # path, a Debug-flag leak into Release — not to police run-to-run or
 # machine-to-machine variance.
 #
-# Exit codes: 0 ok, 1 regression, 77 skip (CTest SKIP_RETURN_CODE) when the
+# Exit codes: 0 ok, 1 regression, 77 skip (CTest SKIP_RETURN_CODE) when a
 # bench binary, the baseline file, or python3 is unavailable.
 #
 # Environment knobs:
@@ -16,32 +17,44 @@
 #   BENCH_GATE_MIN_TIME   per-benchmark min time for the quick re-run (0.05)
 set -euo pipefail
 
-BIN=${1:?usage: bench_regression_gate.sh BENCH_BINARY BASELINE_JSON}
-BASELINE=${2:?usage: bench_regression_gate.sh BENCH_BINARY BASELINE_JSON}
+usage="usage: bench_regression_gate.sh BASELINE_JSON BENCH_BINARY..."
+BASELINE=${1:?$usage}
+shift
+[ $# -ge 1 ] || { echo "$usage" >&2; exit 2; }
 FLOOR=${BENCH_GATE_FLOOR:-0.25}
 MIN_TIME=${BENCH_GATE_MIN_TIME:-0.05}
 
 command -v python3 > /dev/null 2>&1 || { echo "skip: python3 missing"; exit 77; }
-[ -x "$BIN" ] || { echo "skip: $BIN not built"; exit 77; }
 [ -f "$BASELINE" ] || { echo "skip: $BASELINE missing"; exit 77; }
+for BIN in "$@"; do
+  [ -x "$BIN" ] || { echo "skip: $BIN not built"; exit 77; }
+done
 
-TMP=$(mktemp)
-trap 'rm -f "$TMP"' EXIT
-"$BIN" --benchmark_min_time="$MIN_TIME" --benchmark_format=json \
-       --benchmark_out="$TMP" > /dev/null
+RUNS=()
+cleanup() { rm -f "${RUNS[@]}"; }
+trap cleanup EXIT
+for BIN in "$@"; do
+  TMP=$(mktemp)
+  RUNS+=("$TMP")
+  "$BIN" --benchmark_min_time="$MIN_TIME" --benchmark_format=json \
+         --benchmark_out="$TMP" > /dev/null
+done
 
-python3 - "$TMP" "$BASELINE" "$FLOOR" <<'PY'
+python3 - "$BASELINE" "$FLOOR" "${RUNS[@]}" <<'PY'
 import json
 import sys
 
-run_path, baseline_path, floor = sys.argv[1], sys.argv[2], float(sys.argv[3])
-with open(run_path) as f:
-    run = json.load(f)
+baseline_path, floor = sys.argv[1], float(sys.argv[2])
 with open(baseline_path) as f:
     recorded = json.load(f).get("current", {})
 
-got = {b["name"]: b.get("items_per_second")
-       for b in run.get("benchmarks", [])}
+got = {}
+for run_path in sys.argv[3:]:
+    with open(run_path) as f:
+        run = json.load(f)
+    for b in run.get("benchmarks", []):
+        got[b["name"]] = b.get("items_per_second")
+
 failures = []
 for name, ref in sorted(recorded.items()):
     ips = got.get(name)

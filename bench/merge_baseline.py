@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Merges a Google Benchmark JSON run into the committed baseline file.
+"""Merges one or more Google Benchmark JSON runs into the committed baseline.
 
 The baseline file keeps two benchmark sections, both mapping benchmark name
 to items/second:
@@ -17,18 +17,19 @@ import sys
 
 
 def main() -> None:
-    if len(sys.argv) != 3:
-        sys.exit("usage: merge_baseline.py RUN_JSON OUT_JSON")
-    run_path, out_path = sys.argv[1], sys.argv[2]
-
-    with open(run_path) as f:
-        run = json.load(f)
+    if len(sys.argv) < 3:
+        sys.exit("usage: merge_baseline.py RUN_JSON [RUN_JSON...] OUT_JSON")
+    run_paths, out_path = sys.argv[1:-1], sys.argv[-1]
 
     current = {}
-    for bench in run.get("benchmarks", []):
-        ips = bench.get("items_per_second")
-        if ips:
-            current[bench["name"]] = round(ips, 1)
+    run = {}
+    for run_path in run_paths:
+        with open(run_path) as f:
+            run = json.load(f)
+        for bench in run.get("benchmarks", []):
+            ips = bench.get("items_per_second")
+            if ips:
+                current[bench["name"]] = round(ips, 1)
 
     try:
         with open(out_path) as f:

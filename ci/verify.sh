@@ -1,27 +1,85 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build everything (library, 22 test
-# binaries, benches, examples), run the full CTest suite, then re-run the
-# statistical (eps, delta) tests as a focused job.
+# Tier-1 verification: configure, build everything (library, test binaries,
+# benches, examples), run the full CTest suite, then re-run the statistical
+# (eps, delta) tests as a focused job.
+#
+# Parameterized so the CI matrix (compilers x build types + sanitizers) and
+# local sanitizer builds never clobber each other's build trees:
+#   BUILD_TYPE         CMake build type (default Release)
+#   BUILD_DIR          build directory; default "build" for a plain Release
+#                      build (backward compatible) and a derived
+#                      "build-<type>[-<sanitizer>]" otherwise
+#   GENERATOR          CMake generator passed as -G (e.g. Ninja)
+#   CASTREAM_SANITIZE  forwarded to -DCASTREAM_SANITIZE
+#                      (e.g. "address,undefined" or "thread")
+#   CTEST_LABEL        run only tests with this CTest label (the TSan CI job
+#                      sets "concurrency"); skips the extra stats pass
+#   BENCH_SMOKE_OUT    file capturing the bench smoke output (default
+#                      $BUILD_DIR/bench_smoke.txt; uploaded as a CI artifact)
+# Compiler selection follows the standard CC/CXX environment variables, and
+# ccache is picked up via CMAKE_{C,CXX}_COMPILER_LAUNCHER when CI sets them.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j"$(nproc)"
-cd build
-ctest --output-on-failure -j"$(nproc)"
+BUILD_TYPE=${BUILD_TYPE:-Release}
+SANITIZE=${CASTREAM_SANITIZE:-}
+if [ -z "${BUILD_DIR:-}" ]; then
+  if [ "$BUILD_TYPE" = "Release" ] && [ -z "$SANITIZE" ]; then
+    BUILD_DIR=build
+  else
+    BUILD_DIR="build-$(echo "$BUILD_TYPE" | tr '[:upper:]' '[:lower:]')"
+    if [ -n "$SANITIZE" ]; then
+      BUILD_DIR="$BUILD_DIR-$(echo "$SANITIZE" | tr ',;' '-')"
+    fi
+  fi
+fi
 
-# Focused pass over the statistical tests (the ones whose assertions encode
-# Pr[error <= eps] >= 1 - delta); kept separate so a flake is easy to spot.
-ctest --output-on-failure -L stats
+CONFIG_ARGS=(-B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE")
+if [ -n "${GENERATOR:-}" ]; then
+  CONFIG_ARGS+=(-G "$GENERATOR")
+fi
+if [ -n "$SANITIZE" ]; then
+  CONFIG_ARGS+=(-DCASTREAM_SANITIZE="$SANITIZE")
+fi
+
+cmake "${CONFIG_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+cd "$BUILD_DIR"
+
+# --no-tests=error everywhere: a label that silently matches nothing (a
+# renamed test falling out of a CMake label list, a CTEST_LABEL typo in the
+# workflow) must fail the job, not green-light it — the TSan job in
+# particular would otherwise "pass" while running zero concurrency tests.
+if [ -n "${CTEST_LABEL:-}" ]; then
+  # Focused tier (e.g. the TSan job runs only the concurrency label: the
+  # sharded-driver tests whose data races it exists to catch).
+  ctest --output-on-failure --no-tests=error -L "$CTEST_LABEL" -j"$(nproc)"
+else
+  ctest --output-on-failure --no-tests=error -j"$(nproc)"
+  # Focused pass over the statistical tests (the ones whose assertions
+  # encode Pr[error <= eps] >= 1 - delta); kept separate so a flake is easy
+  # to spot.
+  ctest --output-on-failure --no-tests=error -L stats
+fi
 
 # Release-mode bench smoke: the bench targets must keep building *and*
-# running (a quick timed pass, not a measurement). Skipped cleanly when
+# running (a quick timed pass, not a measurement). Skipped for Debug and
+# sanitized builds (their timings are meaningless) and skipped cleanly when
 # Google Benchmark is absent; the plain-number --benchmark_min_time form is
-# accepted by both pre- and post-1.8 benchmark releases.
-if [ -x ./bench_update_throughput ]; then
-  echo "== bench smoke (bench_update_throughput) =="
-  ./bench_update_throughput --benchmark_min_time=0.05
+# accepted by both pre- and post-1.8 benchmark releases. Output is captured
+# to BENCH_SMOKE_OUT so CI can archive it as a workflow artifact.
+if [ "$BUILD_TYPE" = "Release" ] && [ -z "$SANITIZE" ]; then
+  SMOKE_OUT=${BENCH_SMOKE_OUT:-bench_smoke.txt}
+  : > "$SMOKE_OUT"
+  for bench in bench_update_throughput bench_sharded_ingest; do
+    if [ -x "./$bench" ]; then
+      echo "== bench smoke ($bench) =="
+      "./$bench" --benchmark_min_time=0.05 2>&1 | tee -a "$SMOKE_OUT"
+    else
+      echo "Google Benchmark not found; skipping $bench smoke"
+    fi
+  done
 else
-  echo "Google Benchmark not found; skipping bench smoke"
+  echo "bench smoke skipped (BUILD_TYPE=$BUILD_TYPE, sanitize='${SANITIZE}')"
 fi

@@ -29,6 +29,8 @@
 #include "src/core/greater_than.h"
 #include "src/core/multipass.h"
 #include "src/core/options.h"
+#include "src/driver/bounded_queue.h"
+#include "src/driver/sharded_driver.h"
 #include "src/quantile/gk_quantile.h"
 #include "src/sketch/ams_f2.h"
 #include "src/sketch/count_min.h"

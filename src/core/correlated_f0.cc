@@ -108,6 +108,81 @@ void CorrelatedF0Sketch::InsertInto(Instance& inst, uint64_t x, uint64_t y) {
   }
 }
 
+Status CorrelatedF0Sketch::MergeFrom(const CorrelatedF0Sketch& other) {
+  if (this == &other) {
+    return Status::InvalidArgument(
+        "CorrelatedF0Sketch::MergeFrom: cannot merge a summary into itself");
+  }
+  if (track_second_ != other.track_second_ || alpha_ != other.alpha_ ||
+      instances_.size() != other.instances_.size() ||
+      options_.Levels() != other.options_.Levels()) {
+    return Status::PreconditionFailed(
+        "CorrelatedF0Sketch::MergeFrom: incompatible configuration "
+        "(budget / repetitions / levels / rarity tracking differ)");
+  }
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    // Same seed => same level assignment per x; without it the two sides'
+    // samples are drawn from unrelated hash families and cannot be combined.
+    if (instances_[i].hash_seed != other.instances_[i].hash_seed) {
+      return Status::PreconditionFailed(
+          "CorrelatedF0Sketch::MergeFrom: summaries use different hash "
+          "seeds (build both from the same seed)");
+    }
+  }
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    Instance& dst = instances_[i];
+    const Instance& src = other.instances_[i];
+    for (size_t l = 0; l < dst.levels.size(); ++l) {
+      MergeLevelFrom(dst.levels[l], src.levels[l]);
+    }
+  }
+  return Status::OK();
+}
+
+void CorrelatedF0Sketch::MergeLevelFrom(Level& dst, const Level& src) {
+  // A value given up on either side was given up on the union.
+  dst.y_threshold = std::min(dst.y_threshold, src.y_threshold);
+  for (const auto& [x, e] : src.by_x) {
+    auto it = dst.by_x.find(x);
+    if (it != dst.by_x.end()) {
+      // Shared identifier: the union's two smallest occurrence values are
+      // among the two smallest of each side (each side saw a sub-multiset).
+      Entry& d = it->second;
+      const uint64_t old_min = d.y_min;
+      uint64_t lo = std::min(d.y_min, e.y_min);
+      uint64_t hi = std::max(d.y_min, e.y_min);
+      if (track_second_) {
+        hi = std::min({hi, d.y_second, e.y_second});
+        d.y_second = hi;
+      }
+      d.y_min = lo;
+      if (d.y_min != old_min) {
+        dst.by_y.erase({old_min, x});
+        dst.by_y.emplace(std::make_pair(d.y_min, x), x);
+      }
+      continue;
+    }
+    // New identifier: the same admit-or-evict policy as InsertInto, applied
+    // to the entry's minimum (its second value rides along).
+    if (dst.by_x.size() < alpha_) {
+      dst.by_x.emplace(x, e);
+      dst.by_y.emplace(std::make_pair(e.y_min, x), x);
+      continue;
+    }
+    auto max_it = std::prev(dst.by_y.end());
+    if (e.y_min >= max_it->first.first) {
+      dst.y_threshold = std::min(dst.y_threshold, e.y_min);
+      continue;
+    }
+    const uint64_t evicted_x = max_it->second;
+    dst.y_threshold = std::min(dst.y_threshold, max_it->first.first);
+    dst.by_x.erase(evicted_x);
+    dst.by_y.erase(max_it);
+    dst.by_x.emplace(x, e);
+    dst.by_y.emplace(std::make_pair(e.y_min, x), x);
+  }
+}
+
 Result<double> CorrelatedF0Sketch::QueryInstance(const Instance& inst,
                                                  uint64_t c,
                                                  bool rarity) const {

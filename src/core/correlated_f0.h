@@ -81,6 +81,16 @@ class CorrelatedF0Sketch {
     InsertBatch(std::span<const Tuple>(batch.begin(), batch.size()));
   }
 
+  /// \brief Merges another summary built with the same options and seed into
+  /// this one, so queries answer over the union of both streams. Per level:
+  /// Y_l becomes the min of both thresholds, entries for a shared x keep the
+  /// two smallest occurrence values of the union (exact, because each side
+  /// kept its own two smallest), and new entries obey the same largest-y
+  /// eviction policy as Insert. Mismatched options or hash seeds fail with
+  /// PreconditionFailed; when no level ever overflowed its budget the merged
+  /// state is bit-for-bit the single-stream state.
+  Status MergeFrom(const CorrelatedF0Sketch& other);
+
   /// \brief (eps, delta) estimate of the number of distinct x among tuples
   /// with y <= c. Fails only if every level has discarded below c, which
   /// cannot happen at level 0 unless the budget is smaller than the answer
@@ -122,6 +132,7 @@ class CorrelatedF0Sketch {
   };
 
   void InsertInto(Instance& inst, uint64_t x, uint64_t y);
+  void MergeLevelFrom(Level& dst, const Level& src);
   /// \brief Level-l count of entries with y <= c, or error if incomplete.
   Result<double> QueryInstance(const Instance& inst, uint64_t c,
                                bool rarity) const;
@@ -141,6 +152,11 @@ class CorrelatedRaritySketch {
 
   void Insert(uint64_t x, uint64_t y) { inner_.Insert(x, y); }
   void InsertBatch(std::span<const Tuple> batch) { inner_.InsertBatch(batch); }
+  /// \brief Merges another rarity summary (same options and seed); both the
+  /// minimum and second-minimum occurrence values merge exactly.
+  Status MergeFrom(const CorrelatedRaritySketch& other) {
+    return inner_.MergeFrom(other.inner_);
+  }
   Result<double> Query(uint64_t c) const { return inner_.QueryRarity(c); }
   /// \brief The underlying distinct count (the rarity denominator).
   Result<double> QueryDistinct(uint64_t c) const { return inner_.Query(c); }

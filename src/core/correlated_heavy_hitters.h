@@ -194,6 +194,14 @@ class CorrelatedF2HeavyHitters {
     sketch_.InsertBatch(batch);
   }
 
+  /// \brief Merges another heavy-hitter summary (same configuration, both
+  /// built from the same seed) into this one; the framework trees, the
+  /// per-bucket AMS + CountSketch pairs, and the candidate lists all merge,
+  /// so queries answer over the union of both streams.
+  Status MergeFrom(const CorrelatedF2HeavyHitters& other) {
+    return sketch_.MergeFrom(other.sketch_);
+  }
+
   /// \brief Structural self-check of the underlying framework (tests).
   Status ValidateInvariants() const { return sketch_.ValidateInvariants(); }
 

@@ -280,6 +280,91 @@ class CorrelatedSketch {
         "increase f_max_hint or the bucket budget");
   }
 
+  /// \brief Merges another summary of the same configuration and hash family
+  /// into this one, so that subsequent queries answer over the union of both
+  /// ingested streams (the mergeability that makes sharded / distributed
+  /// deployment possible; per-bucket sketches merge by property (b) of
+  /// sketching functions).
+  ///
+  /// Semantics per level:
+  ///   * Y_l becomes min of the two thresholds (a discard on either side is a
+  ///     discard of the union);
+  ///   * trees merge node-wise over their common dyadic structure — a node
+  ///     present on both sides merges sketches in place, a subtree present
+  ///     only in `other` is adopted below the matching leaf via lossless
+  ///     in-family sketch copies;
+  ///   * levels still sharing the virtual root on one side contribute (or
+  ///     absorb) the shared tail: a level virtual here but split in `other`
+  ///     is densified on demand (its root materialized from the tail, left
+  ///     open) before the tree merge, and a level virtual in `other` merges
+  ///     `other`'s tail into this level's root;
+  ///   * after merging, open leaves re-run the closing test (merged mass may
+  ///     cross 2^(l+1)) and the bucket budget is enforced by the same
+  ///     rightmost-leaf discard rule as Algorithm 2.
+  ///
+  /// Both summaries must be built from the *same* factory (copies of one
+  /// factory share the hash family); mismatched configurations or families
+  /// return PreconditionFailed and leave `this` unspecified but valid.
+  Status MergeFrom(const CorrelatedSketch& other) {
+    if (this == &other) {
+      return Status::InvalidArgument(
+          "CorrelatedSketch::MergeFrom: cannot merge a summary into itself");
+    }
+    if (y_max_ != other.y_max_ || alpha_ != other.alpha_ ||
+        max_level_ != other.max_level_) {
+      return Status::PreconditionFailed(
+          "CorrelatedSketch::MergeFrom: incompatible configuration "
+          "(y_max / alpha / level count differ)");
+    }
+    // Family probe: bucket-sketch MergeFrom performs the hash-family check
+    // unconditionally, so probing with an empty scratch fails loudly on
+    // mismatched factories even when both summaries are still empty.
+    {
+      Sketch probe = factory_.Create();
+      CASTREAM_RETURN_NOT_OK(probe.MergeFrom(other.tail_));
+    }
+    CASTREAM_RETURN_NOT_OK(MergeLevel0(other));
+    // Align the virtual suffixes: any level split (materialized) in `other`
+    // but still virtual here gets its own root now — a lossless merge of the
+    // shared tail, left open because its closing condition has not held yet.
+    while (first_virtual_ < other.first_virtual_ &&
+           first_virtual_ <= max_level_) {
+      Level& level = levels_[first_virtual_];
+      Node& root = level.nodes[level.root];
+      CASTREAM_RETURN_NOT_OK(root.sketch.MergeFrom(tail_));
+      root.inserts_since_check = tail_checks_;
+      ++first_virtual_;
+    }
+    // Levels materialized in `other`: node-wise tree merge.
+    for (uint32_t l = 1; l < other.first_virtual_ && l <= max_level_; ++l) {
+      CASTREAM_RETURN_NOT_OK(MergeTreeLevel(levels_[l], other.levels_[l]));
+    }
+    // Levels virtual in `other` but materialized here: `other`'s entire
+    // level content is its tail, which belongs at this level's root (span
+    // [0, ymax]), exactly where `other`'s own open root would hold it.
+    for (uint32_t l = other.first_virtual_; l < first_virtual_; ++l) {
+      Level& level = levels_[l];
+      if (level.root < 0) continue;  // level fully discarded (tiny alpha)
+      CASTREAM_RETURN_NOT_OK(
+          level.nodes[level.root].sketch.MergeFrom(other.tail_));
+    }
+    // Common virtual suffix: one tail merge covers every remaining level,
+    // then levels whose closing condition now holds materialize, exactly as
+    // the insert path would have decided.
+    if (first_virtual_ <= max_level_) {
+      CASTREAM_RETURN_NOT_OK(tail_.MergeFrom(other.tail_));
+      while (first_virtual_ <= max_level_ &&
+             EstimateReaches(tail_, levels_[first_virtual_].close_threshold)) {
+        MaterializeLowestVirtual();
+      }
+    }
+    for (uint32_t l = 1; l < first_virtual_; ++l) {
+      NormalizeLevelAfterMerge(levels_[l]);
+    }
+    tuples_inserted_ += other.tuples_inserted_;
+    return Status::OK();
+  }
+
   // ---- Introspection (benches and tests) ----------------------------------
 
   uint64_t y_max() const { return y_max_; }
@@ -691,6 +776,150 @@ class CorrelatedSketch {
     it->idx = left;
     level.leaves_by_lo.insert(
         it + 1, LeafRef{level.nodes[right].span.lo, right});
+  }
+
+  // ---- Merging -------------------------------------------------------------
+
+  Status MergeLevel0(const CorrelatedSketch& other) {
+    level0_threshold_ = std::min(level0_threshold_, other.level0_threshold_);
+    // Singletons at or above the merged threshold can never be queried
+    // (level 0 answers only when Y_0 > c, and they have y >= Y_0) — exactly
+    // the entries a single structure would never have kept.
+    while (!singletons_.empty() &&
+           singletons_.back().first >= level0_threshold_) {
+      singletons_.pop_back();
+    }
+    for (const auto& [y, sketch] : other.singletons_) {
+      if (y >= level0_threshold_) continue;
+      auto it = std::lower_bound(
+          singletons_.begin(), singletons_.end(), y,
+          [](const auto& entry, uint64_t key) { return entry.first < key; });
+      if (it == singletons_.end() || it->first != y) {
+        it = singletons_.emplace(it, y, factory_.Create());
+      }
+      CASTREAM_RETURN_NOT_OK(it->second.MergeFrom(sketch));
+    }
+    // Algorithm 2 lines 18-21, applied to the union: discard largest-y
+    // singletons until the budget holds again.
+    while (singletons_.size() > alpha_) {
+      level0_threshold_ =
+          std::min(level0_threshold_, singletons_.back().first);
+      singletons_.pop_back();
+    }
+    return Status::OK();
+  }
+
+  Status MergeTreeLevel(Level& dst, const Level& src) {
+    dst.y_threshold = std::min(dst.y_threshold, src.y_threshold);
+    // A discarded root (possible only with tiny alpha) has already pushed
+    // that side's threshold to 0, so the merged level never answers; there
+    // is nothing useful to move.
+    if (src.root < 0 || dst.root < 0) return Status::OK();
+    return MergeSubtree(dst, dst.root, src, src.root);
+  }
+
+  /// \brief Node-wise merge of the src subtree into the dst subtree with the
+  /// same span. Children present on both sides recurse; a src subtree below
+  /// a childless dst node is adopted wholesale (lossless copies); a src
+  /// subtree whose region dst discarded is dropped — the merged Y_l already
+  /// excludes that region from every future query.
+  Status MergeSubtree(Level& dst, int32_t di, const Level& src, int32_t si) {
+    {
+      Node& d = dst.nodes[di];
+      const Node& s = src.nodes[si];
+      assert(d.span == s.span);
+      CASTREAM_RETURN_NOT_OK(d.sketch.MergeFrom(s.sketch));
+      // A bucket closed on either side is closed in the union (it reached
+      // the closing mass there); NormalizeLevelAfterMerge re-tests the rest.
+      d.open = d.open && s.open;
+    }
+    const int32_t s_left = src.nodes[si].left;
+    const int32_t s_right = src.nodes[si].right;
+    // Capture childlessness before any adoption: adopting the left subtree
+    // must not stop the right subtree from being adopted too.
+    const bool dst_was_childless =
+        dst.nodes[di].left < 0 && dst.nodes[di].right < 0;
+    if (s_left >= 0) {
+      if (dst.nodes[di].left >= 0) {
+        CASTREAM_RETURN_NOT_OK(MergeSubtree(dst, dst.nodes[di].left, src,
+                                            s_left));
+      } else if (dst_was_childless) {
+        CASTREAM_RETURN_NOT_OK(AdoptSubtree(dst, di, /*left=*/true, src,
+                                            s_left));
+      }
+    }
+    if (s_right >= 0) {
+      if (dst.nodes[di].right >= 0) {
+        CASTREAM_RETURN_NOT_OK(MergeSubtree(dst, dst.nodes[di].right, src,
+                                            s_right));
+      } else if (dst_was_childless) {
+        CASTREAM_RETURN_NOT_OK(AdoptSubtree(dst, di, /*left=*/false, src,
+                                            s_right));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// \brief Copies the live src subtree rooted at si below dst node `parent`
+  /// as its left/right child. Copies are Create() + MergeFrom — lossless
+  /// within a family — so the adopted nodes answer exactly like the
+  /// originals. Subtrees whose span starts at or beyond the merged Y_l are
+  /// dropped instead: queries at this level require Y_l > c and span.hi <=
+  /// c, so that region can never be counted again — in particular this
+  /// avoids resurrecting buckets under a childless interior node whose
+  /// subtree dst already discarded for budget.
+  Status AdoptSubtree(Level& dst, int32_t parent, bool left, const Level& src,
+                      int32_t si) {
+    if (src.nodes[si].span.lo >= dst.y_threshold) return Status::OK();
+    const int32_t idx = AllocateNode(dst, src.nodes[si].span);
+    {
+      Node& p = dst.nodes[parent];  // re-fetch: AllocateNode may reallocate
+      (left ? p.left : p.right) = idx;
+    }
+    Node& d = dst.nodes[idx];
+    const Node& s = src.nodes[si];
+    d.parent = parent;
+    CASTREAM_RETURN_NOT_OK(d.sketch.MergeFrom(s.sketch));
+    d.open = s.open;
+    d.inserts_since_check = s.inserts_since_check;
+    ++dst.stored;
+    if (s.left >= 0) {
+      CASTREAM_RETURN_NOT_OK(AdoptSubtree(dst, idx, /*left=*/true, src,
+                                          src.nodes[si].left));
+    }
+    if (s.right >= 0) {
+      CASTREAM_RETURN_NOT_OK(AdoptSubtree(dst, idx, /*left=*/false, src,
+                                          src.nodes[si].right));
+    }
+    return Status::OK();
+  }
+
+  /// \brief Restores the per-level invariants after a merge: rebuilds the
+  /// leaf index from the live tree, re-runs the closing test on open leaves
+  /// (merged mass may have crossed 2^(l+1)), enforces the bucket budget, and
+  /// drops the routing cursor.
+  void NormalizeLevelAfterMerge(Level& level) {
+    level.cursor = -1;
+    level.leaves_by_lo.clear();
+    for (size_t i = 0; i < level.nodes.size(); ++i) {
+      const Node& node = level.nodes[i];
+      if (!node.live || node.left >= 0 || node.right >= 0) continue;
+      level.leaves_by_lo.push_back(
+          LeafRef{node.span.lo, static_cast<int32_t>(i)});
+    }
+    std::sort(level.leaves_by_lo.begin(), level.leaves_by_lo.end(),
+              [](const LeafRef& a, const LeafRef& b) { return a.lo < b.lo; });
+    for (const LeafRef& ref : level.leaves_by_lo) {
+      Node& node = level.nodes[ref.idx];
+      if (!node.open || node.span.IsSingleton()) continue;
+      if (EstimateReaches(node.sketch, level.close_threshold)) {
+        node.open = false;
+        node.inserts_since_check = 0;
+      }
+    }
+    while (level.stored >= alpha_ && !level.leaves_by_lo.empty()) {
+      DiscardRightmostLeaf(level);
+    }
   }
 
   void DiscardRightmostLeaf(Level& level) {

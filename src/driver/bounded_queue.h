@@ -1,0 +1,96 @@
+// Bounded multi-producer single-consumer work queue for the sharded driver.
+//
+// Semantics tailored to shard ingest:
+//   * Push blocks while the queue is at capacity (backpressure toward the
+//     writers instead of unbounded buffering) and fails only after Close.
+//   * Pop blocks while the queue is empty and returns nullopt only once the
+//     queue is closed AND drained — closing never drops enqueued work.
+//   * An item stays "outstanding" from Push until the consumer acknowledges
+//     it with AckDone after processing, so WaitIdle() is a true quiescence
+//     barrier: when it returns, every pushed item has been fully processed
+//     and the processing happens-before the return (the same mutex guards
+//     the counter), which is what makes post-flush summary reads race-free.
+#ifndef CASTREAM_DRIVER_BOUNDED_QUEUE_H_
+#define CASTREAM_DRIVER_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace castream {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// \brief Enqueues `item`, blocking while the queue is full. Returns false
+  /// (and drops the item) iff the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    ++outstanding_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// \brief Dequeues the next item, blocking while empty. Returns nullopt
+  /// only when the queue is closed and fully drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// \brief Consumer acknowledgement: the item returned by the matching Pop
+  /// has been fully processed. Unblocks WaitIdle.
+  void AckDone() {
+    std::lock_guard<std::mutex> lock(mu_);
+    --outstanding_;
+    if (outstanding_ == 0) idle_.notify_all();
+  }
+
+  /// \brief Blocks until every pushed item has been popped *and*
+  /// acknowledged. Establishes happens-before with all that processing.
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+  /// \brief Closes the queue: pending items still drain through Pop, new
+  /// pushes fail, and blocked producers/consumers wake up.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::condition_variable idle_;
+  std::deque<T> items_;
+  size_t outstanding_ = 0;  // pushed but not yet AckDone'd
+  bool closed_ = false;
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_DRIVER_BOUNDED_QUEUE_H_

@@ -1,0 +1,257 @@
+// Sharded multi-stream ingest driver (the ROADMAP's first step toward
+// serving one logical stream at multi-core / multi-node scale).
+//
+// The paper's summaries are mergeable: two instances built over the same
+// configuration and hash family combine into a summary of the union stream
+// (Status MergeFrom on every summary type). The driver exploits that by
+// hash-partitioning the stream across S shard summaries *by item identifier
+// x*, so every occurrence of one x lands on exactly one shard — the
+// partition under which frequency-based aggregates (F2, Fk, heavy hitters)
+// and identifier-based ones (F0, rarity) decompose exactly: merging the
+// shard summaries answers over the whole stream with the same guarantees as
+// one summary would.
+//
+// Dataflow:
+//   writers (any number, each with its own Writer handle)
+//     -> per-shard bounded batch queues (backpressure, order-preserving)
+//       -> one ingest thread per shard, feeding Summary::InsertBatch
+//         -> query-time merge of all shards into a scratch summary.
+//
+// Determinism: with a single writer, each shard receives its sub-stream in
+// arrival order (queues are FIFO and batched ingest is exactly equivalent to
+// one-at-a-time ingest), so the driver's answers are bit-for-bit equal to
+// partitioning the stream by ShardOf and feeding S summaries serially —
+// asserted by tests/sharded_equivalence_test.cc. With several concurrent
+// writers the per-shard interleaving (and thus bucket-closing timing) is
+// scheduling-dependent, but every interleaving is a valid stream order and
+// keeps the summaries' (eps, delta) guarantees.
+#ifndef CASTREAM_DRIVER_SHARDED_DRIVER_H_
+#define CASTREAM_DRIVER_SHARDED_DRIVER_H_
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/driver/bounded_queue.h"
+#include "src/hash/hash_family.h"
+#include "src/stream/types.h"
+
+namespace castream {
+
+/// \brief A summary the driver can shard: batch ingest plus in-family merge.
+template <typename S>
+concept ShardableSummary = requires(S s, const S& cs) {
+  s.InsertBatch(std::span<const Tuple>{});
+  { s.MergeFrom(cs) } -> std::same_as<Status>;
+};
+
+struct ShardedDriverOptions {
+  /// Shard (and ingest thread) count; clamped to >= 1.
+  uint32_t shards = 4;
+  /// Tuples buffered per shard before a batch is enqueued. Larger batches
+  /// amortize queue synchronization and keep the per-shard trees
+  /// cache-resident inside InsertBatch.
+  size_t batch_size = 1024;
+  /// Batches buffered per shard queue before writers block (backpressure).
+  size_t queue_capacity = 8;
+  /// Seed of the x -> shard hash. All participants of one logical stream
+  /// must agree on it (it defines the partition).
+  uint64_t shard_seed = 0x5ca1ab1e0ddba11ULL;
+};
+
+/// \brief Runs S identically-configured summaries as shards of one logical
+/// stream, with a thread-per-shard ingest loop and query-time merging.
+///
+/// `make_summary` must produce summaries that are mergeable with each other
+/// (same options and seed — family identity is value-based, so independent
+/// calls with the same seed are compatible). The driver calls it S times for
+/// the shards and once per merged query for the scratch summary.
+template <ShardableSummary Summary>
+class ShardedDriver {
+ public:
+  ShardedDriver(const ShardedDriverOptions& options,
+                std::function<Summary()> make_summary)
+      : options_(Clamp(options)), make_summary_(std::move(make_summary)) {
+    shards_.reserve(options_.shards);
+    for (uint32_t s = 0; s < options_.shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(make_summary_(),
+                                                options_.queue_capacity));
+    }
+    for (auto& shard : shards_) {
+      shard->worker = std::thread([&shard] {
+        while (auto batch = shard->queue.Pop()) {
+          {
+            // Per-batch summary lock: merges taken while ingest is running
+            // observe each shard at a batch boundary (a consistent summary
+            // state) instead of racing mid-insert.
+            std::lock_guard<std::mutex> lock(shard->summary_mu);
+            shard->summary.InsertBatch(std::span<const Tuple>(*batch));
+          }
+          shard->processed.fetch_add(batch->size(),
+                                     std::memory_order_relaxed);
+          shard->queue.AckDone();
+        }
+      });
+    }
+    default_writer_ = std::make_unique<Writer>(*this);
+  }
+
+  ~ShardedDriver() {
+    default_writer_->Flush();
+    for (auto& shard : shards_) shard->queue.Close();
+    for (auto& shard : shards_) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+  }
+
+  ShardedDriver(const ShardedDriver&) = delete;
+  ShardedDriver& operator=(const ShardedDriver&) = delete;
+
+  /// \brief A producer handle with private per-shard batch buffers. One
+  /// Writer must be used by one thread at a time; any number of Writers may
+  /// feed the same driver concurrently (the shard queues are thread-safe).
+  class Writer {
+   public:
+    explicit Writer(ShardedDriver& driver)
+        : driver_(driver), pending_(driver.shards_.size()) {
+      for (auto& buf : pending_) buf.reserve(driver_.options_.batch_size);
+    }
+
+    void Insert(uint64_t x, uint64_t y) { Insert(Tuple{x, y}); }
+
+    void Insert(const Tuple& t) {
+      const uint32_t s = driver_.ShardOf(t.x);
+      pending_[s].push_back(t);
+      if (pending_[s].size() >= driver_.options_.batch_size) {
+        driver_.Dispatch(s, pending_[s]);
+      }
+    }
+
+    void InsertBatch(std::span<const Tuple> batch) {
+      for (const Tuple& t : batch) Insert(t);
+    }
+
+    /// \brief Hands every partially-filled buffer to the shard queues. Does
+    /// not wait for processing; call the driver's Flush/WaitIdle for that.
+    void Flush() {
+      for (uint32_t s = 0; s < pending_.size(); ++s) {
+        if (!pending_[s].empty()) driver_.Dispatch(s, pending_[s]);
+      }
+    }
+
+   private:
+    ShardedDriver& driver_;
+    std::vector<std::vector<Tuple>> pending_;
+  };
+
+  Writer MakeWriter() { return Writer(*this); }
+
+  // Single-producer convenience API, backed by a driver-owned Writer. Not
+  // thread-safe against itself; concurrent producers use MakeWriter.
+  void Insert(uint64_t x, uint64_t y) { default_writer_->Insert(x, y); }
+  void Insert(const Tuple& t) { default_writer_->Insert(t); }
+  void InsertBatch(std::span<const Tuple> batch) {
+    default_writer_->InsertBatch(batch);
+  }
+
+  /// \brief Pushes the driver-owned writer's partial batches and blocks
+  /// until every enqueued batch (from all writers) has been ingested.
+  void Flush() {
+    default_writer_->Flush();
+    WaitIdle();
+  }
+
+  /// \brief Blocks until all shard queues are drained and acknowledged.
+  /// External Writers must Flush() themselves first — the driver cannot see
+  /// their private buffers.
+  void WaitIdle() {
+    for (auto& shard : shards_) shard->queue.WaitIdle();
+  }
+
+  /// \brief Flushes, then merges every shard into a fresh summary answering
+  /// over the whole stream ingested so far. Shards are left untouched, so
+  /// ingest can continue and the merge can be repeated; concurrent writers
+  /// may keep pushing — the merge observes each shard at a batch boundary.
+  Result<Summary> MergedSummary() {
+    Flush();
+    Summary merged = make_summary_();
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->summary_mu);
+      CASTREAM_RETURN_NOT_OK(merged.MergeFrom(shard->summary));
+    }
+    return merged;
+  }
+
+  /// \brief Convenience point query (summary types with a single-cutoff
+  /// Query; instantiated only if used).
+  Result<double> Query(uint64_t c) {
+    CASTREAM_ASSIGN_OR_RETURN(Summary merged, MergedSummary());
+    return merged.Query(c);
+  }
+
+  /// \brief The shard an item identifier routes to (the partition function;
+  /// tests use it to build serial oracles).
+  uint32_t ShardOf(uint64_t x) const {
+    return static_cast<uint32_t>(MixHash64(x, options_.shard_seed) %
+                                 shards_.size());
+  }
+
+  uint32_t shard_count() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
+  /// \brief Tuples fully ingested by shard workers (excludes buffered ones).
+  uint64_t tuples_processed() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->processed.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    Summary summary;
+    std::mutex summary_mu;  // held per batch by the worker, by merges
+    BoundedQueue<std::vector<Tuple>> queue;
+    std::thread worker;
+    std::atomic<uint64_t> processed{0};
+
+    Shard(Summary s, size_t queue_capacity)
+        : summary(std::move(s)), queue(queue_capacity) {}
+  };
+
+  static ShardedDriverOptions Clamp(ShardedDriverOptions o) {
+    if (o.shards == 0) o.shards = 1;
+    if (o.batch_size == 0) o.batch_size = 1;
+    if (o.queue_capacity == 0) o.queue_capacity = 1;
+    return o;
+  }
+
+  /// \brief Moves a full buffer into shard s's queue (blocking on
+  /// backpressure) and leaves `buffer` empty with its capacity reusable.
+  void Dispatch(uint32_t s, std::vector<Tuple>& buffer) {
+    std::vector<Tuple> batch;
+    batch.reserve(options_.batch_size);
+    batch.swap(buffer);
+    shards_[s]->queue.Push(std::move(batch));
+  }
+
+  ShardedDriverOptions options_;
+  std::function<Summary()> make_summary_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<Writer> default_writer_;
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_DRIVER_SHARDED_DRIVER_H_

@@ -79,12 +79,17 @@ using FourWiseHash = PolynomialHash<4>;
 /// std::shared_ptr (see SketchFactory types in src/sketch).
 class TabulationHash {
  public:
-  explicit TabulationHash(uint64_t seed) {
+  explicit TabulationHash(uint64_t seed) : seed_(seed) {
     SplitMix64 sm(seed);
     for (auto& table : tables_) {
       for (auto& entry : table) entry = sm.Next();
     }
   }
+
+  /// \brief The construction seed; the tables are drawn deterministically
+  /// from it, so equal seeds mean equal hash functions (value-based family
+  /// identity for mergeability checks).
+  uint64_t seed() const { return seed_; }
 
   uint64_t operator()(uint64_t x) const {
     uint64_t h = 0;
@@ -95,6 +100,7 @@ class TabulationHash {
   }
 
  private:
+  uint64_t seed_;
   std::array<std::array<uint64_t, 256>, 8> tables_;
 };
 

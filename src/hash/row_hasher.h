@@ -76,7 +76,7 @@ class RowHashSet {
   /// \brief Builds `depth` independent rows over counters of size `width`
   /// (width must be a power of two).
   RowHashSet(uint64_t seed, uint32_t depth, uint32_t width)
-      : width_(width) {
+      : seed_(seed), width_(width) {
     SplitMix64 seeder(seed);
     rows_.reserve(depth);
     for (uint32_t d = 0; d < depth; ++d) rows_.emplace_back(seeder, width);
@@ -85,6 +85,17 @@ class RowHashSet {
   const RowHasher& row(uint32_t d) const { return rows_[d]; }
   uint32_t depth() const { return static_cast<uint32_t>(rows_.size()); }
   uint32_t width() const { return width_; }
+
+  /// \brief True when `other` computes the exact same hash functions: the
+  /// rows are drawn deterministically from (seed, depth, width), so value
+  /// equality of those three is function equality. This is what lets
+  /// summaries built in different processes (or from different factory
+  /// objects seeded alike) merge — family identity is by value, not by
+  /// object address.
+  bool SameFamily(const RowHashSet& other) const {
+    return seed_ == other.seed_ && depth() == other.depth() &&
+           width_ == other.width_;
+  }
 
   /// \brief Computes x's (bucket, sign) for every row, once.
   void Prehash(uint64_t x, PreHashed& out) const {
@@ -108,6 +119,7 @@ class RowHashSet {
 
  private:
   std::vector<RowHasher> rows_;
+  uint64_t seed_;
   uint32_t width_;
 };
 

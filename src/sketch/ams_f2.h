@@ -132,9 +132,12 @@ class AmsF2Sketch {
     return static_cast<double>(worst);
   }
 
-  /// \brief Adds another sketch of the same family into this one.
+  /// \brief Adds another sketch of the same family into this one. The family
+  /// check is by value (seed + dimensions), so sketches built from distinct
+  /// factory objects — or in distinct processes — merge as long as they were
+  /// seeded alike.
   Status MergeFrom(const AmsF2Sketch& other) {
-    if (other.hashes_ != hashes_) {
+    if (other.hashes_ != hashes_ && !hashes_->SameFamily(*other.hashes_)) {
       return Status::PreconditionFailed(
           "AmsF2Sketch::MergeFrom: sketches from different families");
     }

@@ -117,7 +117,7 @@ class CountMinSketch {
   int64_t TotalWeight() const { return total_; }
 
   Status MergeFrom(const CountMinSketch& other) {
-    if (other.hashes_ != hashes_) {
+    if (other.hashes_ != hashes_ && !hashes_->SameFamily(*other.hashes_)) {
       return Status::PreconditionFailed(
           "CountMinSketch::MergeFrom: sketches from different families");
     }

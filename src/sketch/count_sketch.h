@@ -117,7 +117,7 @@ class CountSketch {
   }
 
   Status MergeFrom(const CountSketch& other) {
-    if (other.hashes_ != hashes_) {
+    if (other.hashes_ != hashes_ && !hashes_->SameFamily(*other.hashes_)) {
       return Status::PreconditionFailed(
           "CountSketch::MergeFrom: sketches from different families");
     }

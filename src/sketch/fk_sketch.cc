@@ -11,14 +11,29 @@ namespace castream {
 
 struct FkSketchFactory::Shared {
   FkSketchOptions options;
+  uint64_t construction_seed;
   uint64_t level_hash_seed;
   std::vector<CountSketchFactory> cs_factories;
   std::vector<KmvSketchFactory> kmv_factories;
+
+  /// \brief Value-based family identity: every hash in the factory is drawn
+  /// deterministically from (options, seed), so equal pairs mean identical
+  /// families even across factory objects or processes.
+  bool SameFamily(const Shared& other) const {
+    return construction_seed == other.construction_seed &&
+           options.k == other.options.k &&
+           options.levels == other.options.levels &&
+           options.width == other.options.width &&
+           options.depth == other.options.depth &&
+           options.candidates == other.options.candidates &&
+           options.kmv_k == other.options.kmv_k;
+  }
 };
 
 FkSketchFactory::FkSketchFactory(FkSketchOptions options, uint64_t seed) {
   auto shared = std::make_shared<Shared>();
   shared->options = options;
+  shared->construction_seed = seed;
   SplitMix64 seeder(seed);
   shared->level_hash_seed = seeder.Next();
   shared->cs_factories.reserve(options.levels);
@@ -164,7 +179,7 @@ double FkSketch::Estimate() const {
 }
 
 Status FkSketch::MergeFrom(const FkSketch& other) {
-  if (shared_ != other.shared_) {
+  if (shared_ != other.shared_ && !shared_->SameFamily(*other.shared_)) {
     return Status::PreconditionFailed(
         "FkSketch::MergeFrom: sketches from different families");
   }

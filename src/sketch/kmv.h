@@ -73,7 +73,8 @@ class KmvSketch {
   }
 
   Status MergeFrom(const KmvSketch& other) {
-    if (hash_ != other.hash_ || k_ != other.k_) {
+    if (k_ != other.k_ ||
+        (hash_ != other.hash_ && hash_->seed() != other.hash_->seed())) {
       return Status::PreconditionFailed(
           "KmvSketch::MergeFrom: sketches from different families");
     }
