@@ -1,0 +1,106 @@
+// Serialize / deserialize throughput of the summary wire format (src/io).
+//
+// items_per_second is *bytes* of blob per second (the natural unit for a
+// codec; SetBytesProcessed reports the same number as bytes_per_second), so
+// the regression gate guards codec throughput like it guards ingest. The
+// summaries are built once per benchmark over the usual fixed uniform
+// stream; serialization itself is single-threaded and allocation-light (one
+// output string, reused across iterations).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/any_summary.h"
+#include "src/io/decoder.h"
+#include "src/stream/generators.h"
+
+namespace {
+
+using namespace castream;
+
+constexpr uint64_t kXRange = 500000;
+constexpr uint64_t kYRange = 1000000;
+constexpr size_t kStreamLen = 1 << 18;
+
+SummaryOptions BenchOptions() {
+  SummaryOptions opts;
+  opts.eps = 0.20;
+  opts.delta = 0.1;
+  opts.y_max = kYRange;
+  opts.f_max_hint = 1e12;
+  opts.x_domain = kXRange;
+  return opts;
+}
+
+AnySummary BuildSummary(const char* kind) {
+  AnySummary summary =
+      std::move(MakeSummary(kind, BenchOptions(), /*seed=*/3)).value();
+  UniformGenerator gen(kXRange, kYRange, 2);
+  std::vector<Tuple> batch(4096);
+  for (size_t done = 0; done < kStreamLen; done += batch.size()) {
+    for (Tuple& t : batch) t = gen.Next();
+    summary.InsertBatch(batch);
+  }
+  return summary;
+}
+
+void BM_SerializeSummary(benchmark::State& state, const char* kind) {
+  const AnySummary summary = BuildSummary(kind);
+  std::string blob;
+  for (auto _ : state) {
+    blob.clear();
+    benchmark::DoNotOptimize(summary.Serialize(&blob));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+}
+
+void BM_DeserializeSummary(benchmark::State& state, const char* kind) {
+  const AnySummary summary = BuildSummary(kind);
+  std::string blob;
+  if (!summary.Serialize(&blob).ok()) {
+    state.SkipWithError("serialize failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto decoded = AnySummary::Deserialize(io::BytesOf(blob));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+}
+
+void BM_SerializeF2(benchmark::State& state) {
+  BM_SerializeSummary(state, "f2");
+}
+void BM_DeserializeF2(benchmark::State& state) {
+  BM_DeserializeSummary(state, "f2");
+}
+void BM_SerializeF0(benchmark::State& state) {
+  BM_SerializeSummary(state, "f0");
+}
+void BM_DeserializeF0(benchmark::State& state) {
+  BM_DeserializeSummary(state, "f0");
+}
+void BM_SerializeHeavyHitters(benchmark::State& state) {
+  BM_SerializeSummary(state, "hh");
+}
+void BM_DeserializeHeavyHitters(benchmark::State& state) {
+  BM_DeserializeSummary(state, "hh");
+}
+
+BENCHMARK(BM_SerializeF2);
+BENCHMARK(BM_DeserializeF2);
+BENCHMARK(BM_SerializeF0);
+BENCHMARK(BM_DeserializeF0);
+BENCHMARK(BM_SerializeHeavyHitters);
+BENCHMARK(BM_DeserializeHeavyHitters);
+
+}  // namespace
+
+BENCHMARK_MAIN();

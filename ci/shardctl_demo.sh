@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# End-to-end cross-process sharding demo (registered as the
+# shardctl_cross_process CTest test and run as a CI step).
+#
+# For every summary kind: N separate castream_shardctl worker processes each
+# ingest their x-partition of one deterministic stream and write a summary
+# blob; one reducer process deserializes + merges the blobs and --verify
+# asserts the merged answers equal single-process ingest exactly. Any
+# mismatch, failed decode, or failed merge exits nonzero.
+#
+# usage: ci/shardctl_demo.sh SHARDCTL_BIN [WORK_DIR] [BLOB_SUFFIX]
+#   SHARDCTL_BIN  path to the built castream_shardctl (the writers)
+#   WORK_DIR      where blobs are written (default: mktemp -d)
+#   BLOB_SUFFIX   tag appended to blob names (keeps runs apart when several
+#                 share one WORK_DIR)
+#   REDUCE_BIN    optional env override: a *different* castream_shardctl to
+#                 run the reducer with. The CI cross-compiler job writes
+#                 blobs with the gcc build and reduces with the clang build
+#                 (and vice versa) — the wire format is compiler-independent,
+#                 and this is where that claim is enforced.
+set -euo pipefail
+
+BIN=${1:?usage: shardctl_demo.sh SHARDCTL_BIN [WORK_DIR] [BLOB_SUFFIX]}
+DIR=${2:-$(mktemp -d)}
+SUFFIX=${3:-blob}
+REDUCER=${REDUCE_BIN:-$BIN}
+SHARDS=3
+mkdir -p "$DIR"
+
+for kind in f2 f0 rarity hh; do
+  blobs=()
+  for i in $(seq 0 $((SHARDS - 1))); do
+    "$BIN" worker --kind "$kind" --shards "$SHARDS" --shard "$i" \
+           --out "$DIR/$kind.$i.$SUFFIX"
+    blobs+=("$DIR/$kind.$i.$SUFFIX")
+  done
+  "$REDUCER" reduce --kind "$kind" --verify "${blobs[@]}"
+done
+
+echo "shardctl demo: all kinds verified ($SHARDS shards, dir $DIR)"

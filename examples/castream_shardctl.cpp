@@ -1,0 +1,378 @@
+// castream_shardctl — cross-process sharding on the Unified Summary API.
+//
+// The paper's summaries are mergeable by construction, and the wire format
+// (src/io) makes them durable, so one logical stream can be summarized by N
+// *separate processes* and reduced afterwards:
+//
+//   # each worker ingests its x-partition of the stream and writes a blob
+//   castream_shardctl worker --kind f2 --shards 3 --shard 0 --out s0.bin
+//   castream_shardctl worker --kind f2 --shards 3 --shard 1 --out s1.bin
+//   castream_shardctl worker --kind f2 --shards 3 --shard 2 --out s2.bin
+//   # the reducer deserializes + merges the blobs and answers queries;
+//   # --verify rebuilds the same partition+merge in one process and asserts
+//   # bit-for-bit equality (blobs must be passed in shard order)
+//   castream_shardctl reduce --kind f2 --verify s0.bin s1.bin s2.bin
+//
+// All workers and the reducer must agree on --kind, --seed (the hash
+// families; identity is by value, so separate processes are fine) and the
+// stream parameters. The demo stream is deterministic from --stream-seed,
+// which is what lets --verify compare the cross-process result against
+// single-process work bit-for-bit: the oracle partitions the stream with
+// the same x-hash, feeds S summaries serially, and merges them — exactly
+// what the workers + reducer did, minus the wire — so any deviation is a
+// serialization bug, not sketch noise. A second, approximate check compares
+// against one plain summary of the whole stream (per-shard bucket-closing
+// decisions legitimately differ there, so agreement is within the (eps,
+// delta) guarantee, not exact). Real deployments replace the generator
+// with their sources and keep everything else. Partitioning is by item
+// identifier x — the same split ShardedDriver uses in-process — under
+// which all supported aggregates decompose exactly.
+//
+// ci/shardctl_demo.sh runs this end to end for all four kinds; the CI
+// cross-compiler job feeds gcc-written blobs to a clang-built reducer.
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/any_summary.h"
+#include "src/driver/sharded_driver.h"
+#include "src/hash/hash_family.h"
+#include "src/io/decoder.h"
+#include "src/stream/generators.h"
+#include "src/stream/types.h"
+
+namespace {
+
+using namespace castream;
+
+// The driver's default partition seed: a worker fleet and an in-process
+// ShardedDriver split one stream identically.
+const uint64_t kPartitionSeed = ShardedDriverOptions{}.shard_seed;
+
+struct Args {
+  std::string mode;
+  std::string kind = "f2";
+  uint32_t shards = 3;
+  uint32_t shard = 0;
+  uint64_t summary_seed = 42;
+  uint64_t stream_seed = 7;
+  uint64_t count = 60000;
+  uint64_t x_domain = 2000;
+  uint64_t y_max = 65535;
+  std::string out;
+  bool verify = false;
+  std::vector<std::string> inputs;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  castream_shardctl kinds\n"
+      "  castream_shardctl worker --kind K --shards N --shard I --out FILE\n"
+      "                           [--seed S] [--stream-seed S] [--count N]\n"
+      "                           [--x-domain D] [--y-max Y]\n"
+      "  castream_shardctl reduce --kind K [--verify] [stream flags] "
+      "BLOB...\n"
+      "kinds: f2 | f0 | rarity | hh\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->mode = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](uint64_t* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::strtoull(argv[++i], nullptr, 10);
+      return true;
+    };
+    if (flag == "--verify") {
+      args->verify = true;
+    } else if (flag == "--kind" && i + 1 < argc) {
+      args->kind = argv[++i];
+    } else if (flag == "--out" && i + 1 < argc) {
+      args->out = argv[++i];
+    } else if (flag == "--shards") {
+      uint64_t v = 0;
+      if (!next(&v) || v == 0) return false;
+      args->shards = static_cast<uint32_t>(v);
+    } else if (flag == "--shard") {
+      uint64_t v = 0;
+      if (!next(&v)) return false;
+      args->shard = static_cast<uint32_t>(v);
+    } else if (flag == "--seed") {
+      if (!next(&args->summary_seed)) return false;
+    } else if (flag == "--stream-seed") {
+      if (!next(&args->stream_seed)) return false;
+    } else if (flag == "--count") {
+      if (!next(&args->count)) return false;
+    } else if (flag == "--x-domain") {
+      if (!next(&args->x_domain)) return false;
+    } else if (flag == "--y-max") {
+      if (!next(&args->y_max)) return false;
+    } else if (flag.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    } else {
+      args->inputs.push_back(flag);
+    }
+  }
+  return true;
+}
+
+SummaryOptions OptionsFor(const Args& args) {
+  SummaryOptions opts;
+  opts.eps = 0.25;
+  opts.delta = 0.1;
+  opts.y_max = args.y_max;
+  opts.f_max_hint = 1e9;
+  opts.x_domain = args.x_domain;
+  opts.phi_eps = 0.05;
+  return opts;
+}
+
+uint32_t PartitionOf(uint64_t x, uint32_t shards) {
+  return static_cast<uint32_t>(MixHash64(x, kPartitionSeed) % shards);
+}
+
+std::vector<uint64_t> CutoffLadder(uint64_t y_max) {
+  std::vector<uint64_t> cutoffs{0, 1};
+  for (uint64_t c = 2; c < y_max; c *= 4) cutoffs.push_back(c - 1);
+  cutoffs.push_back(y_max / 2);
+  cutoffs.push_back(y_max);
+  return cutoffs;
+}
+
+Result<AnySummary> IngestStream(const Args& args, bool only_my_shard) {
+  CASTREAM_ASSIGN_OR_RETURN(AnySummary summary,
+                            MakeSummary(args.kind, OptionsFor(args),
+                                        args.summary_seed));
+  UniformGenerator gen(args.x_domain, args.y_max, args.stream_seed);
+  std::vector<Tuple> batch;
+  batch.reserve(4096);
+  uint64_t taken = 0;
+  for (uint64_t i = 0; i < args.count; ++i) {
+    const Tuple t = gen.Next();
+    if (only_my_shard && PartitionOf(t.x, args.shards) != args.shard) {
+      continue;
+    }
+    batch.push_back(t);
+    ++taken;
+    if (batch.size() == batch.capacity()) {
+      summary.InsertBatch(batch);
+      batch.clear();
+    }
+  }
+  summary.InsertBatch(batch);
+  std::fprintf(stderr, "ingested %" PRIu64 "/%" PRIu64 " tuples (%s)\n",
+               taken, args.count, args.kind.c_str());
+  return summary;
+}
+
+/// \brief The exact oracle for --verify: partition the stream with the same
+/// x-hash the workers used, feed one summary per shard serially, merge in
+/// shard order — everything the worker fleet did, in one process, with no
+/// wire in between.
+Result<AnySummary> ShardedOracle(const Args& args) {
+  std::vector<AnySummary> shards;
+  std::vector<std::vector<Tuple>> buffers(args.shards);
+  for (uint32_t s = 0; s < args.shards; ++s) {
+    CASTREAM_ASSIGN_OR_RETURN(AnySummary summary,
+                              MakeSummary(args.kind, OptionsFor(args),
+                                          args.summary_seed));
+    shards.push_back(std::move(summary));
+    buffers[s].reserve(4096);
+  }
+  UniformGenerator gen(args.x_domain, args.y_max, args.stream_seed);
+  for (uint64_t i = 0; i < args.count; ++i) {
+    const Tuple t = gen.Next();
+    const uint32_t s = PartitionOf(t.x, args.shards);
+    buffers[s].push_back(t);
+    if (buffers[s].size() == buffers[s].capacity()) {
+      shards[s].InsertBatch(buffers[s]);
+      buffers[s].clear();
+    }
+  }
+  CASTREAM_ASSIGN_OR_RETURN(AnySummary merged,
+                            MakeSummary(args.kind, OptionsFor(args),
+                                        args.summary_seed));
+  for (uint32_t s = 0; s < args.shards; ++s) {
+    shards[s].InsertBatch(buffers[s]);
+    CASTREAM_RETURN_NOT_OK(merged.MergeFrom(shards[s]));
+  }
+  return merged;
+}
+
+int RunWorker(const Args& args) {
+  if (args.out.empty() || args.shard >= args.shards) {
+    Usage();
+    return 2;
+  }
+  auto summary = IngestStream(args, /*only_my_shard=*/true);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "worker: %s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  std::string blob;
+  if (Status st = summary.value().Serialize(&blob); !st.ok()) {
+    std::fprintf(stderr, "worker: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::ofstream out(args.out, std::ios::binary);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out.good()) {
+    std::fprintf(stderr, "worker: cannot write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("shard %u/%u: wrote %zu-byte %s blob to %s\n", args.shard,
+              args.shards, blob.size(), args.kind.c_str(), args.out.c_str());
+  return 0;
+}
+
+int RunReduce(const Args& args) {
+  if (args.inputs.empty()) {
+    Usage();
+    return 2;
+  }
+  auto merged = MakeSummary(args.kind, OptionsFor(args), args.summary_seed);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "reduce: %s\n", merged.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& path : args.inputs) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+      std::fprintf(stderr, "reduce: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    const std::string blob = buf.str();
+    auto shard = AnySummary::Deserialize(io::BytesOf(blob));
+    if (!shard.ok()) {
+      std::fprintf(stderr, "reduce: %s: %s\n", path.c_str(),
+                   shard.status().ToString().c_str());
+      return 1;
+    }
+    if (Status st = merged.value().MergeFrom(shard.value()); !st.ok()) {
+      std::fprintf(stderr, "reduce: merging %s: %s\n", path.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "merged %s (%zu bytes, kind %s)\n", path.c_str(),
+                 blob.size(),
+                 std::string(SummaryKindName(shard.value().kind())).c_str());
+  }
+
+  for (uint64_t c : CutoffLadder(args.y_max)) {
+    const auto q = merged.value().Query(c);
+    if (q.ok()) {
+      std::printf("cutoff %10" PRIu64 "  estimate %.6f\n", c, q.value());
+    } else {
+      std::printf("cutoff %10" PRIu64 "  %s\n", c,
+                  q.status().ToString().c_str());
+    }
+  }
+
+  if (!args.verify) return 0;
+
+  // Exact check: the same partition + serial ingest + merge, done in one
+  // process. The union-of-summaries guarantee (Section 2) says the merge is
+  // a summary of the whole stream, and the wire format must add nothing, so
+  // every answer matches bit-for-bit or serialization is broken.
+  auto oracle = ShardedOracle(args);
+  if (!oracle.ok()) {
+    std::fprintf(stderr, "verify: %s\n", oracle.status().ToString().c_str());
+    return 1;
+  }
+  for (uint64_t c : CutoffLadder(args.y_max)) {
+    const auto qa = oracle.value().Query(c);
+    const auto qb = merged.value().Query(c);
+    if (qa.ok() != qb.ok() || (qa.ok() && qa.value() != qb.value())) {
+      std::fprintf(stderr,
+                   "VERIFY FAILED at cutoff %" PRIu64
+                   ": single-process partition+merge %s vs merged blobs %s\n",
+                   c, qa.ok() ? std::to_string(qa.value()).c_str() : "error",
+                   qb.ok() ? std::to_string(qb.value()).c_str() : "error");
+      return 1;
+    }
+  }
+  if (args.kind == "hh") {
+    const auto ha = oracle.value().QueryHeavyHitters(args.y_max, 0.05);
+    const auto hb = merged.value().QueryHeavyHitters(args.y_max, 0.05);
+    if (ha.ok() != hb.ok() ||
+        (ha.ok() && ha.value().size() != hb.value().size())) {
+      std::fprintf(stderr, "VERIFY FAILED: heavy-hitter sets differ\n");
+      return 1;
+    }
+    if (ha.ok()) {
+      for (size_t i = 0; i < ha.value().size(); ++i) {
+        if (ha.value()[i].item != hb.value()[i].item ||
+            ha.value()[i].estimated_frequency !=
+                hb.value()[i].estimated_frequency) {
+          std::fprintf(stderr, "VERIFY FAILED: heavy hitter %zu differs\n", i);
+          return 1;
+        }
+      }
+    }
+  }
+
+  // Sanity check: one plain summary over the interleaved stream. Per-shard
+  // bucket-closing decisions legitimately differ from the partitioned run,
+  // so this agrees within the accuracy guarantee, not exactly.
+  auto plain = IngestStream(args, /*only_my_shard=*/false);
+  if (!plain.ok()) {
+    std::fprintf(stderr, "verify: %s\n", plain.status().ToString().c_str());
+    return 1;
+  }
+  const double eps = OptionsFor(args).eps;
+  for (uint64_t c : CutoffLadder(args.y_max)) {
+    const auto qa = plain.value().Query(c);
+    const auto qb = merged.value().Query(c);
+    if (!qa.ok() || !qb.ok()) continue;  // FAIL regions may differ slightly
+    const double tolerance = 2.0 * eps * std::max(1.0, qa.value()) + 10.0;
+    if (std::abs(qa.value() - qb.value()) > tolerance) {
+      std::fprintf(stderr,
+                   "VERIFY FAILED at cutoff %" PRIu64
+                   ": merged blobs %.3f vs plain single summary %.3f "
+                   "(outside 2*eps)\n",
+                   c, qb.value(), qa.value());
+      return 1;
+    }
+  }
+  std::printf("VERIFIED: merged %zu blobs == single-process partition+merge "
+              "(exact) and ~= plain ingest (within 2*eps) [%s, %" PRIu64
+              " tuples]\n",
+              args.inputs.size(), args.kind.c_str(), args.count);
+  return 0;
+}
+
+int RunKinds() {
+  for (const auto& entry : SummaryRegistry::Entries()) {
+    std::printf("%-8s (wire tag %u)\n", std::string(entry.name).c_str(),
+                static_cast<uint32_t>(entry.kind));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  if (args.mode == "kinds") return RunKinds();
+  if (args.mode == "worker") return RunWorker(args);
+  if (args.mode == "reduce") return RunReduce(args);
+  Usage();
+  return 2;
+}

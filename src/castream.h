@@ -4,7 +4,7 @@
 // Estimating Correlated Aggregates Over a Data Stream" (ICDE 2012 /
 // Algorithmica 2015): summaries answering f({x : y <= c}) for query-time c.
 //
-// Typical use:
+// Typed use:
 //   #include "src/castream.h"
 //   auto opts = castream::CorrelatedSketchOptions{.eps = 0.2, .delta = 0.05,
 //                                                .y_max = 1'000'000,
@@ -12,11 +12,28 @@
 //   auto sketch = castream::MakeCorrelatedF2(opts, /*seed=*/42);
 //   sketch.Insert(item_id, attribute);
 //   double estimate = sketch.Query(cutoff).value();
+//
+// Unified Summary API: every durable summary kind — correlated F2, F0,
+// rarity, F2 heavy hitters — models one protocol (Insert / InsertBatch /
+// MergeFrom / Query / Serialize / static Deserialize) behind the
+// type-erased castream::AnySummary, built through the SummaryRegistry:
+//   auto summary = castream::MakeSummary("f2", castream::SummaryOptions{},
+//                                        /*seed=*/42).value();
+//   summary.InsertBatch(tuples);
+//   std::string blob;
+//   auto st = summary.Serialize(&blob);             // versioned wire format
+//   auto peer = castream::AnySummary::Deserialize(  // any kind, any process
+//       castream::io::BytesOf(blob)).value();
+//   st = summary.MergeFrom(peer);                   // value-based family check
+// Summaries built with equal (kind, options, seed) merge across processes;
+// see examples/castream_shardctl.cpp for cross-process sharding and
+// src/io/ for the wire format (endian-stable, length-prefixed, versioned).
 #ifndef CASTREAM_CASTREAM_H_
 #define CASTREAM_CASTREAM_H_
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/core/any_summary.h"
 #include "src/core/async_window.h"
 #include "src/core/bidirectional.h"
 #include "src/core/correlated_f0.h"
@@ -31,6 +48,9 @@
 #include "src/core/options.h"
 #include "src/driver/bounded_queue.h"
 #include "src/driver/sharded_driver.h"
+#include "src/io/decoder.h"
+#include "src/io/encoder.h"
+#include "src/io/format.h"
 #include "src/quantile/gk_quantile.h"
 #include "src/sketch/ams_f2.h"
 #include "src/sketch/count_min.h"

@@ -16,8 +16,10 @@ namespace castream {
 /// T is implicit (the success path should read naturally), construction from
 /// a non-OK Status is implicit on the error path, and accessing the value of
 /// an errored Result is a programming error caught by assert in debug builds.
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// \brief Success case. Intentionally implicit: `return 42;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

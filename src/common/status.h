@@ -15,7 +15,12 @@ namespace castream {
 /// A Status is either OK (the default) or carries an error code plus a
 /// human-readable message. Statuses are cheap to move; an OK status performs
 /// no allocation.
-class Status {
+///
+/// The class itself is [[nodiscard]]: every function returning a Status by
+/// value — MergeFrom, Serialize, Deserialize helpers, the io decoders — is
+/// nodiscard without per-declaration annotations, so silently dropped
+/// errors fail the -Werror build of src/.
+class [[nodiscard]] Status {
  public:
   /// Error taxonomy. Kept deliberately small; codes mirror the situations
   /// that arise in streaming-summary APIs.

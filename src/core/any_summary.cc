@@ -1,0 +1,111 @@
+#include "src/core/any_summary.h"
+
+#include <array>
+
+namespace castream {
+namespace {
+
+CorrelatedSketchOptions ToFrameworkOptions(const SummaryOptions& o) {
+  CorrelatedSketchOptions opts;
+  opts.eps = o.eps;
+  opts.delta = o.delta;
+  opts.y_max = o.y_max;
+  opts.f_max_hint = o.f_max_hint;
+  return opts;
+}
+
+CorrelatedF0Options ToF0Options(const SummaryOptions& o) {
+  CorrelatedF0Options opts;
+  opts.eps = o.eps;
+  opts.delta = o.delta;
+  opts.x_domain = o.x_domain;
+  return opts;
+}
+
+AnySummary MakeF2(const SummaryOptions& o, uint64_t seed) {
+  return AnySummary(MakeCorrelatedF2(ToFrameworkOptions(o), seed));
+}
+
+AnySummary MakeF0(const SummaryOptions& o, uint64_t seed) {
+  return AnySummary(CorrelatedF0Sketch(ToF0Options(o), seed));
+}
+
+AnySummary MakeRarity(const SummaryOptions& o, uint64_t seed) {
+  return AnySummary(CorrelatedRaritySketch(ToF0Options(o), seed));
+}
+
+AnySummary MakeHeavyHitters(const SummaryOptions& o, uint64_t seed) {
+  return AnySummary(CorrelatedF2HeavyHitters(ToFrameworkOptions(o), o.phi_eps,
+                                             seed, o.max_candidates));
+}
+
+template <typename T>
+Result<AnySummary> DeserializeAs(std::span<const std::byte> bytes) {
+  CASTREAM_ASSIGN_OR_RETURN(T summary, T::Deserialize(bytes));
+  return AnySummary(std::move(summary));
+}
+
+constexpr std::array<SummaryRegistry::Entry, 4> kRegistry{{
+    {SummaryKind::kCorrelatedF2, "f2", &MakeF2,
+     &DeserializeAs<CorrelatedF2Sketch>},
+    {SummaryKind::kCorrelatedF0, "f0", &MakeF0,
+     &DeserializeAs<CorrelatedF0Sketch>},
+    {SummaryKind::kCorrelatedRarity, "rarity", &MakeRarity,
+     &DeserializeAs<CorrelatedRaritySketch>},
+    {SummaryKind::kCorrelatedF2HeavyHitters, "hh", &MakeHeavyHitters,
+     &DeserializeAs<CorrelatedF2HeavyHitters>},
+}};
+
+}  // namespace
+
+std::span<const SummaryRegistry::Entry> SummaryRegistry::Entries() {
+  return kRegistry;
+}
+
+const SummaryRegistry::Entry* SummaryRegistry::Find(SummaryKind kind) {
+  for (const Entry& e : kRegistry) {
+    if (e.kind == kind) return &e;
+  }
+  return nullptr;
+}
+
+const SummaryRegistry::Entry* SummaryRegistry::FindByName(
+    std::string_view name) {
+  for (const Entry& e : kRegistry) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Result<AnySummary> AnySummary::Deserialize(std::span<const std::byte> bytes) {
+  CASTREAM_ASSIGN_OR_RETURN(SummaryKind kind, io::PeekKind(bytes));
+  const SummaryRegistry::Entry* entry = SummaryRegistry::Find(kind);
+  if (entry == nullptr) {
+    return Status::InvalidArgument(
+        "AnySummary::Deserialize: kind not in the registry");
+  }
+  return entry->deserialize(bytes);
+}
+
+Result<AnySummary> MakeSummary(SummaryKind kind, const SummaryOptions& options,
+                               uint64_t seed) {
+  const SummaryRegistry::Entry* entry = SummaryRegistry::Find(kind);
+  if (entry == nullptr) {
+    return Status::InvalidArgument("MakeSummary: unregistered summary kind");
+  }
+  return entry->make(options, seed);
+}
+
+Result<AnySummary> MakeSummary(std::string_view kind_name,
+                               const SummaryOptions& options, uint64_t seed) {
+  const SummaryRegistry::Entry* entry = SummaryRegistry::FindByName(kind_name);
+  if (entry == nullptr) {
+    return Status::InvalidArgument(
+        "MakeSummary: unknown summary kind name (expected f2, f0, rarity, "
+        "or hh): " +
+        std::string(kind_name));
+  }
+  return entry->make(options, seed);
+}
+
+}  // namespace castream

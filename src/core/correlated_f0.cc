@@ -245,6 +245,148 @@ Result<double> CorrelatedF0Sketch::QueryRarity(uint64_t c) const {
   return MedianInPlace(estimates);
 }
 
+Status CorrelatedF0Sketch::Serialize(std::string* out) const {
+  io::Encoder enc(out);
+  const size_t patch = io::BeginEnvelope(enc, SummaryKind::kCorrelatedF0,
+                                         io::kCorrelatedF0Version);
+  EncodeBody(enc);
+  io::EndEnvelope(enc, patch);
+  return Status::OK();
+}
+
+Result<CorrelatedF0Sketch> CorrelatedF0Sketch::Deserialize(
+    std::span<const std::byte> bytes) {
+  io::Decoder dec(bytes);
+  CASTREAM_RETURN_NOT_OK(io::ReadEnvelope(dec, SummaryKind::kCorrelatedF0,
+                                          io::kCorrelatedF0Version));
+  CASTREAM_ASSIGN_OR_RETURN(CorrelatedF0Sketch summary, DecodeBody(dec));
+  if (!dec.Done()) {
+    return Status::InvalidArgument(
+        "deserialize: unread bytes after the summary body");
+  }
+  return summary;
+}
+
+void CorrelatedF0Sketch::EncodeBody(io::Encoder& enc) const {
+  enc.PutU8(track_second_ ? 1 : 0);
+  enc.PutU32(alpha_);
+  enc.PutU32(options_.Levels());
+  enc.PutU32(static_cast<uint32_t>(instances_.size()));
+  for (const Instance& inst : instances_) {
+    enc.PutU64(inst.hash_seed);
+    for (const Level& level : inst.levels) {
+      enc.PutU64(level.y_threshold);
+      enc.PutU32(static_cast<uint32_t>(level.by_x.size()));
+      // by_y order — ascending (y_min, x), one entry per stored x — makes
+      // the bytes a pure function of the summary state (by_x iteration
+      // order would not be).
+      for (const auto& [key, x] : level.by_y) {
+        const Entry& e = level.by_x.at(x);
+        enc.PutU64(x);
+        enc.PutU64(e.y_min);
+        enc.PutU64(e.y_second);
+      }
+    }
+  }
+}
+
+Result<CorrelatedF0Sketch> CorrelatedF0Sketch::DecodeBody(io::Decoder& dec) {
+  uint8_t track_second = 0;
+  uint32_t alpha = 0, levels = 0, repetitions = 0;
+  CASTREAM_RETURN_NOT_OK(dec.ReadU8(&track_second));
+  CASTREAM_RETURN_NOT_OK(dec.ReadU32(&alpha));
+  CASTREAM_RETURN_NOT_OK(dec.ReadU32(&levels));
+  CASTREAM_RETURN_NOT_OK(dec.ReadU32(&repetitions));
+  if (track_second > 1 || alpha < 1 || levels < 1 || levels > 40 ||
+      repetitions < 1 || repetitions > 4096 ||
+      repetitions > dec.remaining() / 8) {
+    return Status::InvalidArgument(
+        "decode: correlated-F0 parameters out of range");
+  }
+  // Options that reproduce the serialized derived values through the normal
+  // constructor: Levels() = CeilLog2(x_domain + 1) + 1, so x_domain =
+  // 2^(levels-1) - 1 maps back exactly for levels in [1, 40].
+  CorrelatedF0Options opts;
+  opts.alpha_override = alpha;
+  opts.repetitions_override = repetitions;
+  opts.x_domain = (uint64_t{1} << (levels - 1)) - 1;
+  CorrelatedF0Sketch out(opts, /*seed=*/0, track_second != 0);
+  if (out.alpha_ != alpha || out.options_.Levels() != levels ||
+      out.instances_.size() != repetitions) {
+    return Status::Internal(
+        "decode: options reconstruction did not reproduce the serialized "
+        "parameters");
+  }
+  for (Instance& inst : out.instances_) {
+    CASTREAM_RETURN_NOT_OK(dec.ReadU64(&inst.hash_seed));
+    for (Level& level : inst.levels) {
+      CASTREAM_RETURN_NOT_OK(dec.ReadU64(&level.y_threshold));
+      uint32_t n = 0;
+      CASTREAM_RETURN_NOT_OK(dec.ReadCount(&n, 24));
+      if (n > alpha) {
+        return Status::InvalidArgument(
+            "decode: level entry count exceeds the budget");
+      }
+      level.by_x.clear();
+      level.by_y.clear();
+      level.by_x.reserve(n);
+      uint64_t prev_y = 0, prev_x = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        uint64_t x = 0;
+        Entry e{0, 0};
+        CASTREAM_RETURN_NOT_OK(dec.ReadU64(&x));
+        CASTREAM_RETURN_NOT_OK(dec.ReadU64(&e.y_min));
+        CASTREAM_RETURN_NOT_OK(dec.ReadU64(&e.y_second));
+        if (e.y_second < e.y_min ||
+            (track_second == 0 && e.y_second != UINT64_MAX)) {
+          return Status::InvalidArgument(
+              "decode: entry occurrence values inconsistent");
+        }
+        if (i > 0 && (e.y_min < prev_y ||
+                      (e.y_min == prev_y && x <= prev_x))) {
+          return Status::InvalidArgument(
+              "decode: entries not strictly ascending by (y_min, x)");
+        }
+        prev_y = e.y_min;
+        prev_x = x;
+        if (!level.by_x.emplace(x, e).second) {
+          return Status::InvalidArgument(
+              "decode: duplicate identifier in one level");
+        }
+        level.by_y.emplace(std::make_pair(e.y_min, x), x);
+      }
+    }
+  }
+  return out;
+}
+
+Status CorrelatedRaritySketch::Serialize(std::string* out) const {
+  io::Encoder enc(out);
+  const size_t patch = io::BeginEnvelope(enc, SummaryKind::kCorrelatedRarity,
+                                         io::kCorrelatedRarityVersion);
+  inner_.EncodeBody(enc);
+  io::EndEnvelope(enc, patch);
+  return Status::OK();
+}
+
+Result<CorrelatedRaritySketch> CorrelatedRaritySketch::Deserialize(
+    std::span<const std::byte> bytes) {
+  io::Decoder dec(bytes);
+  CASTREAM_RETURN_NOT_OK(io::ReadEnvelope(dec, SummaryKind::kCorrelatedRarity,
+                                          io::kCorrelatedRarityVersion));
+  CASTREAM_ASSIGN_OR_RETURN(CorrelatedF0Sketch inner,
+                            CorrelatedF0Sketch::DecodeBody(dec));
+  if (!dec.Done()) {
+    return Status::InvalidArgument(
+        "deserialize: unread bytes after the summary body");
+  }
+  if (!inner.tracks_second_occurrence()) {
+    return Status::InvalidArgument(
+        "deserialize: rarity blob does not track second occurrences");
+  }
+  return CorrelatedRaritySketch(std::move(inner));
+}
+
 size_t CorrelatedF0Sketch::StoredTuplesEquivalent() const {
   size_t total = 0;
   for (const Instance& inst : instances_) {

@@ -20,15 +20,19 @@
 #ifndef CASTREAM_CORE_CORRELATED_F0_H_
 #define CASTREAM_CORE_CORRELATED_F0_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <map>
 #include <span>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/io/format.h"
 #include "src/stream/types.h"
 
 namespace castream {
@@ -101,6 +105,29 @@ class CorrelatedF0Sketch {
   /// y <= c) occurring exactly once; requires track_second_occurrence.
   Result<double> QueryRarity(uint64_t c) const;
 
+  // ---- Wire format (the Unified Summary API; src/io) -----------------------
+  // Entries are serialized in by_y order — (y_min, x) ascending — so equal
+  // summaries produce identical bytes on every platform; per-instance hash
+  // seeds round-trip, so a deserialized summary merges with the originals.
+
+  /// \brief Appends the versioned, length-prefixed blob for this summary.
+  [[nodiscard]] Status Serialize(std::string* out) const;
+
+  /// \brief Rebuilds a summary from a whole blob. Truncated, corrupt, or
+  /// wrong-version payloads return InvalidArgument (wrong kind:
+  /// PreconditionFailed) with allocations capped by the bytes present.
+  [[nodiscard]] static Result<CorrelatedF0Sketch> Deserialize(
+      std::span<const std::byte> bytes);
+
+  /// \brief Envelope-free body codec, shared with CorrelatedRaritySketch
+  /// (same state, different envelope tag).
+  void EncodeBody(io::Encoder& enc) const;
+  [[nodiscard]] static Result<CorrelatedF0Sketch> DecodeBody(io::Decoder& dec);
+
+  /// \brief Whether this summary records second-occurrence values (set for
+  /// rarity summaries; checked when deserializing under the rarity tag).
+  bool tracks_second_occurrence() const { return track_second_; }
+
   // ---- Introspection -------------------------------------------------------
 
   uint32_t levels() const { return options_.Levels(); }
@@ -166,7 +193,16 @@ class CorrelatedRaritySketch {
   }
   size_t SizeBytes() const { return inner_.SizeBytes(); }
 
+  /// \brief Same body as CorrelatedF0Sketch under the rarity envelope tag;
+  /// a blob that does not track second occurrences is rejected.
+  [[nodiscard]] Status Serialize(std::string* out) const;
+  [[nodiscard]] static Result<CorrelatedRaritySketch> Deserialize(
+      std::span<const std::byte> bytes);
+
  private:
+  explicit CorrelatedRaritySketch(CorrelatedF0Sketch inner)
+      : inner_(std::move(inner)) {}
+
   CorrelatedF0Sketch inner_;
 };
 

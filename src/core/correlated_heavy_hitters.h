@@ -26,6 +26,7 @@
 #include "src/common/status.h"
 #include "src/core/correlated_fk.h"
 #include "src/core/correlated_sketch.h"
+#include "src/io/format.h"
 #include "src/sketch/ams_f2.h"
 #include "src/sketch/count_sketch.h"
 
@@ -56,6 +57,36 @@ class F2HeavyHitterBundleFactory {
   F2HeavyHitterPreHashed Prehash(uint64_t x) const {
     return F2HeavyHitterPreHashed{f2_.Prehash(x), cs_.Prehash(x)};
   }
+
+  // ---- Wire format (src/io): both member families plus the candidate
+  // budget; bundles encode member-wise. ---------------------------------------
+
+  void EncodeFamily(io::Encoder& enc) const {
+    f2_.EncodeFamily(enc);
+    cs_.EncodeFamily(enc);
+    enc.PutU32(max_candidates_);
+  }
+
+  static Result<F2HeavyHitterBundleFactory> DecodeFamily(io::Decoder& dec) {
+    CASTREAM_ASSIGN_OR_RETURN(AmsF2SketchFactory f2,
+                              AmsF2SketchFactory::DecodeFamily(dec));
+    CASTREAM_ASSIGN_OR_RETURN(CountSketchFactory cs,
+                              CountSketchFactory::DecodeFamily(dec));
+    uint32_t max_candidates = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&max_candidates));
+    // The constructor clamps to >= 4; a smaller serialized value could not
+    // have come from a real factory and would decode to a different family.
+    if (max_candidates < 4 || max_candidates > (uint32_t{1} << 20)) {
+      return Status::InvalidArgument(
+          "decode: heavy-hitter candidate budget out of range");
+    }
+    return F2HeavyHitterBundleFactory(std::move(f2), std::move(cs),
+                                      max_candidates);
+  }
+
+  void EncodeSketch(io::Encoder& enc, const F2HeavyHitterBundle& bundle) const;
+  [[nodiscard]] Result<F2HeavyHitterBundle> DecodeSketch(
+      io::Decoder& dec) const;
 
  private:
   friend class F2HeavyHitterBundle;
@@ -150,6 +181,42 @@ inline F2HeavyHitterBundle F2HeavyHitterBundleFactory::Create() const {
   return F2HeavyHitterBundle(f2_.Create(), cs_.Create(), max_candidates_);
 }
 
+inline void F2HeavyHitterBundleFactory::EncodeSketch(
+    io::Encoder& enc, const F2HeavyHitterBundle& bundle) const {
+  f2_.EncodeSketch(enc, bundle.f2_);
+  cs_.EncodeSketch(enc, bundle.cs_);
+  enc.PutU32(static_cast<uint32_t>(bundle.candidates_.size()));
+  for (uint64_t x : bundle.candidates_) enc.PutU64(x);
+}
+
+inline Result<F2HeavyHitterBundle> F2HeavyHitterBundleFactory::DecodeSketch(
+    io::Decoder& dec) const {
+  CASTREAM_ASSIGN_OR_RETURN(AmsF2Sketch f2, f2_.DecodeSketch(dec));
+  CASTREAM_ASSIGN_OR_RETURN(CountSketch cs, cs_.DecodeSketch(dec));
+  F2HeavyHitterBundle bundle(std::move(f2), std::move(cs), max_candidates_);
+  uint32_t n = 0;
+  CASTREAM_RETURN_NOT_OK(dec.ReadCount(&n, 8));
+  // AddCandidate prunes at 2x the budget, so a live bundle never stores more.
+  if (n >= 2 * max_candidates_) {
+    return Status::InvalidArgument(
+        "decode: candidate list exceeds the pruning bound");
+  }
+  bundle.candidates_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t x = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadU64(&x));
+    // AddCandidate never stores an item twice, so duplicates prove
+    // corruption (and would be reported twice by Query).
+    if (std::find(bundle.candidates_.begin(), bundle.candidates_.end(), x) !=
+        bundle.candidates_.end()) {
+      return Status::InvalidArgument(
+          "decode: duplicate heavy-hitter candidate");
+    }
+    bundle.candidates_.push_back(x);
+  }
+  return bundle;
+}
+
 /// \brief One reported heavy hitter.
 struct HeavyHitter {
   uint64_t item = 0;
@@ -240,11 +307,45 @@ class CorrelatedF2HeavyHitters {
     return sketch_.StoredTuplesEquivalent();
   }
 
+  // ---- Wire format (src/io): the framework body under the heavy-hitter
+  // tag; the bundle factory serializes both hash families plus the
+  // candidate budget, so a decoded summary merges with the originals. ------
+
+  [[nodiscard]] Status Serialize(std::string* out) const {
+    io::Encoder enc(out);
+    const size_t patch =
+        io::BeginEnvelope(enc, SummaryKind::kCorrelatedF2HeavyHitters,
+                          io::kCorrelatedF2HeavyHittersVersion);
+    sketch_.EncodeBody(enc);
+    io::EndEnvelope(enc, patch);
+    return Status::OK();
+  }
+
+  [[nodiscard]] static Result<CorrelatedF2HeavyHitters> Deserialize(
+      std::span<const std::byte> bytes) {
+    io::Decoder dec(bytes);
+    CASTREAM_RETURN_NOT_OK(
+        io::ReadEnvelope(dec, SummaryKind::kCorrelatedF2HeavyHitters,
+                         io::kCorrelatedF2HeavyHittersVersion));
+    CASTREAM_ASSIGN_OR_RETURN(
+        CorrelatedSketch<F2HeavyHitterBundleFactory> inner,
+        CorrelatedSketch<F2HeavyHitterBundleFactory>::DecodeBody(dec));
+    if (!dec.Done()) {
+      return Status::InvalidArgument(
+          "deserialize: unread bytes after the summary body");
+    }
+    return CorrelatedF2HeavyHitters(std::move(inner));
+  }
+
  private:
   static CorrelatedSketchOptions PatchOptions(CorrelatedSketchOptions o) {
     o.conditions = AggregateConditions::ForFk(2.0);
     return o;
   }
+
+  explicit CorrelatedF2HeavyHitters(
+      CorrelatedSketch<F2HeavyHitterBundleFactory> inner)
+      : sketch_(std::move(inner)) {}
 
   CorrelatedSketch<F2HeavyHitterBundleFactory> sketch_;
 };

@@ -69,9 +69,11 @@
 #include <cassert>
 #include <cmath>
 #include <concepts>
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -80,6 +82,7 @@
 #include "src/common/status.h"
 #include "src/core/dyadic.h"
 #include "src/core/options.h"
+#include "src/io/format.h"
 #include "src/stream/types.h"
 
 namespace castream {
@@ -363,6 +366,173 @@ class CorrelatedSketch {
     }
     tuples_inserted_ += other.tuples_inserted_;
     return Status::OK();
+  }
+
+  // ---- Wire format (the Unified Summary API; src/io) ----------------------
+  //
+  // Available whenever the factory models io::SerializableSketchFamily (AMS
+  // and the heavy-hitter bundle do; the exact and Fk factories do not, and
+  // simply leave these members uninstantiated). The format ships integer
+  // state only — family identity, thresholds, tree topology (including dead
+  // slots and the free list, so post-deserialize ingest allocates nodes in
+  // the same order), the virtual-root tail, and every bucket sketch — and
+  // recomputes all derived floats, so a deserialized summary answers every
+  // query bit-for-bit like the original and merges with its relatives
+  // through the same value-based family checks.
+
+  /// \brief Appends the versioned, length-prefixed blob for this summary.
+  [[nodiscard]] Status Serialize(std::string* out) const
+    requires io::RegisteredSummaryFactory<Factory>
+  {
+    io::Encoder enc(out);
+    const size_t patch =
+        io::BeginEnvelope(enc, Factory::kSummaryKind, Factory::kFormatVersion);
+    EncodeBody(enc);
+    io::EndEnvelope(enc, patch);
+    return Status::OK();
+  }
+
+  /// \brief Rebuilds a summary from a whole blob (envelope included).
+  /// Truncated, corrupt, or wrong-version payloads return InvalidArgument
+  /// (wrong kind: PreconditionFailed); allocations are capped by the bytes
+  /// actually present, so hostile blobs cannot OOM the reader.
+  [[nodiscard]] static Result<CorrelatedSketch> Deserialize(
+      std::span<const std::byte> bytes)
+    requires io::RegisteredSummaryFactory<Factory>
+  {
+    io::Decoder dec(bytes);
+    CASTREAM_RETURN_NOT_OK(io::ReadEnvelope(dec, Factory::kSummaryKind,
+                                            Factory::kFormatVersion));
+    CASTREAM_ASSIGN_OR_RETURN(CorrelatedSketch summary, DecodeBody(dec));
+    if (!dec.Done()) {
+      return Status::InvalidArgument(
+          "deserialize: unread bytes after the summary body");
+    }
+    return summary;
+  }
+
+  /// \brief Envelope-free body encoding, for wrapper summaries that embed a
+  /// framework instance under their own tag (CorrelatedF2HeavyHitters).
+  void EncodeBody(io::Encoder& enc) const
+    requires io::SerializableSketchFamily<Factory>
+  {
+    factory_.EncodeFamily(enc);
+    enc.PutU64(y_max_);
+    enc.PutU32(alpha_);
+    enc.PutU32(max_level_);
+    enc.PutU32(check_interval_);
+    enc.PutU64(tuples_inserted_);
+    enc.PutU64(level0_threshold_);
+    enc.PutU32(static_cast<uint32_t>(singletons_.size()));
+    for (const auto& [y, sketch] : singletons_) {
+      enc.PutU64(y);
+      factory_.EncodeSketch(enc, sketch);
+    }
+    enc.PutU32(first_virtual_);
+    enc.PutU32(tail_checks_);
+    factory_.EncodeSketch(enc, tail_);
+    for (uint32_t l = 1; l <= max_level_; ++l) {
+      const Level& level = levels_[l];
+      enc.PutU64(level.y_threshold);
+      enc.PutI32(level.root);
+      enc.PutU32(static_cast<uint32_t>(level.nodes.size()));
+      for (const Node& node : level.nodes) {
+        enc.PutU8(node.live ? 1 : 0);
+        if (!node.live) continue;  // dead slots are recreated empty
+        enc.PutU64(node.span.lo);
+        enc.PutU64(node.span.hi);
+        enc.PutI32(node.left);
+        enc.PutI32(node.right);
+        enc.PutI32(node.parent);
+        enc.PutU8(node.open ? 1 : 0);
+        enc.PutU32(node.inserts_since_check);
+        factory_.EncodeSketch(enc, node.sketch);
+      }
+      enc.PutU32(static_cast<uint32_t>(level.free_slots.size()));
+      for (int32_t slot : level.free_slots) enc.PutI32(slot);
+      enc.PutU32(static_cast<uint32_t>(level.leaves_by_lo.size()));
+      for (const LeafRef& ref : level.leaves_by_lo) {
+        enc.PutU64(ref.lo);
+        enc.PutI32(ref.idx);
+      }
+    }
+  }
+
+  [[nodiscard]] static Result<CorrelatedSketch> DecodeBody(io::Decoder& dec)
+    requires io::SerializableSketchFamily<Factory>
+  {
+    CASTREAM_ASSIGN_OR_RETURN(Factory factory, Factory::DecodeFamily(dec));
+    uint64_t y_max = 0;
+    uint32_t alpha = 0, max_level = 0, check_interval = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadU64(&y_max));
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&alpha));
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&max_level));
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&check_interval));
+    if (RoundUpToDyadicDomain(y_max) != y_max) {
+      return Status::InvalidArgument(
+          "decode: y_max is not of the dyadic form 2^beta - 1");
+    }
+    if (alpha < 1 || max_level < 2 || max_level > 62 || check_interval < 1) {
+      return Status::InvalidArgument(
+          "decode: framework parameters out of range");
+    }
+    // Synthesize options that reproduce exactly the serialized derived
+    // values through the normal constructor (f_max_hint = 2^(max_level-1)
+    // maps back to max_level through MaxLevel()).
+    CorrelatedSketchOptions opts;
+    opts.y_max = y_max;
+    opts.alpha_override = alpha;
+    opts.est_check_interval = check_interval;
+    opts.f_max_hint = std::ldexp(1.0, static_cast<int>(max_level) - 1);
+    CorrelatedSketch out(opts, std::move(factory));
+    if (out.y_max_ != y_max || out.alpha_ != alpha ||
+        out.max_level_ != max_level || out.check_interval_ != check_interval) {
+      return Status::Internal(
+          "decode: options reconstruction did not reproduce the serialized "
+          "framework parameters");
+    }
+    CASTREAM_RETURN_NOT_OK(dec.ReadU64(&out.tuples_inserted_));
+    CASTREAM_RETURN_NOT_OK(dec.ReadU64(&out.level0_threshold_));
+    uint32_t n_singletons = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadCount(&n_singletons, 9));
+    if (n_singletons > out.alpha_ + 1) {
+      return Status::InvalidArgument(
+          "decode: singleton count exceeds the bucket budget");
+    }
+    out.singletons_.clear();
+    out.singletons_.reserve(n_singletons);
+    uint64_t prev_y = 0;
+    for (uint32_t i = 0; i < n_singletons; ++i) {
+      uint64_t y = 0;
+      CASTREAM_RETURN_NOT_OK(dec.ReadU64(&y));
+      if (i > 0 && y <= prev_y) {
+        return Status::InvalidArgument(
+            "decode: level-0 singletons not strictly ascending in y");
+      }
+      prev_y = y;
+      CASTREAM_ASSIGN_OR_RETURN(Sketch sketch,
+                                out.factory_.DecodeSketch(dec));
+      out.singletons_.emplace_back(y, std::move(sketch));
+    }
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&out.first_virtual_));
+    if (out.first_virtual_ < 1 || out.first_virtual_ > out.max_level_ + 1) {
+      return Status::InvalidArgument(
+          "decode: first virtual level out of range");
+    }
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&out.tail_checks_));
+    {
+      CASTREAM_ASSIGN_OR_RETURN(Sketch tail, out.factory_.DecodeSketch(dec));
+      out.tail_ = std::move(tail);
+    }
+    for (uint32_t l = 1; l <= out.max_level_; ++l) {
+      CASTREAM_RETURN_NOT_OK(out.DecodeLevel(dec, out.levels_[l]));
+    }
+    if (Status st = out.ValidateInvariants(); !st.ok()) {
+      return Status::InvalidArgument(
+          "decode: summary fails structural validation (" + st.message() +
+          ")");
+    }
+    return out;
   }
 
   // ---- Introspection (benches and tests) ----------------------------------
@@ -920,6 +1090,116 @@ class CorrelatedSketch {
     while (level.stored >= alpha_ && !level.leaves_by_lo.empty()) {
       DiscardRightmostLeaf(level);
     }
+  }
+
+  /// \brief Decodes one tree level in place (the level arrives in its
+  /// freshly-constructed single-root state and is fully overwritten). Every
+  /// index read from the wire is bounds-checked before use and the span
+  /// algebra is re-validated, so a hostile blob is rejected instead of
+  /// producing out-of-range accesses; ValidateInvariants() then re-checks
+  /// the cross-level structure as a whole.
+  [[nodiscard]] Status DecodeLevel(io::Decoder& dec, Level& level) {
+    CASTREAM_RETURN_NOT_OK(dec.ReadU64(&level.y_threshold));
+    CASTREAM_RETURN_NOT_OK(dec.ReadI32(&level.root));
+    uint32_t node_count = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadCount(&node_count, 1));
+    const auto index_ok = [node_count](int32_t idx) {
+      return idx >= -1 && idx < static_cast<int32_t>(node_count);
+    };
+    if (!index_ok(level.root)) {
+      return Status::InvalidArgument("decode: level root index out of range");
+    }
+    level.nodes.clear();
+    level.nodes.reserve(node_count);
+    level.free_slots.clear();
+    level.leaves_by_lo.clear();
+    level.cursor = -1;
+    level.stored = 0;
+    for (uint32_t i = 0; i < node_count; ++i) {
+      uint8_t live = 0;
+      CASTREAM_RETURN_NOT_OK(dec.ReadU8(&live));
+      if (live == 0) {
+        // Dead slot awaiting reuse: discard reset its sketch to empty, so an
+        // empty recreation is exact, not an approximation.
+        Node node(DyadicInterval{0, 0}, factory_.Create());
+        node.live = false;
+        level.nodes.push_back(std::move(node));
+        continue;
+      }
+      DyadicInterval span;
+      CASTREAM_RETURN_NOT_OK(dec.ReadU64(&span.lo));
+      CASTREAM_RETURN_NOT_OK(dec.ReadU64(&span.hi));
+      if (span.lo > span.hi || span.hi > y_max_ ||
+          !IsPow2(span.size()) || span.lo % span.size() != 0) {
+        return Status::InvalidArgument(
+            "decode: bucket span is not a dyadic interval of [0, y_max]");
+      }
+      int32_t left = 0, right = 0, parent = 0;
+      CASTREAM_RETURN_NOT_OK(dec.ReadI32(&left));
+      CASTREAM_RETURN_NOT_OK(dec.ReadI32(&right));
+      CASTREAM_RETURN_NOT_OK(dec.ReadI32(&parent));
+      if (!index_ok(left) || !index_ok(right) || !index_ok(parent)) {
+        return Status::InvalidArgument(
+            "decode: bucket child/parent index out of range");
+      }
+      uint8_t open = 0;
+      uint32_t inserts_since_check = 0;
+      CASTREAM_RETURN_NOT_OK(dec.ReadU8(&open));
+      CASTREAM_RETURN_NOT_OK(dec.ReadU32(&inserts_since_check));
+      CASTREAM_ASSIGN_OR_RETURN(Sketch sketch, factory_.DecodeSketch(dec));
+      Node node(span, std::move(sketch));
+      node.left = left;
+      node.right = right;
+      node.parent = parent;
+      node.open = open != 0;
+      node.inserts_since_check = inserts_since_check;
+      level.nodes.push_back(std::move(node));
+      ++level.stored;
+    }
+    if (level.root >= 0 && !level.nodes[level.root].live) {
+      return Status::InvalidArgument("decode: level root is a dead slot");
+    }
+    uint32_t n_free = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadCount(&n_free, 4));
+    if (n_free != node_count - level.stored) {
+      return Status::InvalidArgument(
+          "decode: free-slot count does not match dead nodes");
+    }
+    std::vector<char> seen(node_count, 0);
+    for (uint32_t i = 0; i < n_free; ++i) {
+      int32_t slot = 0;
+      CASTREAM_RETURN_NOT_OK(dec.ReadI32(&slot));
+      if (slot < 0 || !index_ok(slot) || level.nodes[slot].live ||
+          seen[slot]) {
+        return Status::InvalidArgument("decode: invalid free-slot entry");
+      }
+      seen[slot] = 1;
+      level.free_slots.push_back(slot);
+    }
+    uint32_t n_leaves = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadCount(&n_leaves, 12));
+    uint64_t prev_lo = 0;
+    for (uint32_t i = 0; i < n_leaves; ++i) {
+      LeafRef ref{};
+      CASTREAM_RETURN_NOT_OK(dec.ReadU64(&ref.lo));
+      CASTREAM_RETURN_NOT_OK(dec.ReadI32(&ref.idx));
+      if (ref.idx < 0 || !index_ok(ref.idx)) {
+        return Status::InvalidArgument("decode: leaf index out of range");
+      }
+      const Node& node = level.nodes[ref.idx];
+      if (!node.live || node.left >= 0 || node.right >= 0 ||
+          node.span.lo != ref.lo) {
+        return Status::InvalidArgument(
+            "decode: leaf entry does not reference a live childless node");
+      }
+      if (i > 0 && ref.lo <= prev_lo) {
+        return Status::InvalidArgument(
+            "decode: leaf index not strictly ascending");
+      }
+      prev_lo = ref.lo;
+      level.leaves_by_lo.push_back(ref);
+    }
+    return Status::OK();
   }
 
   void DiscardRightmostLeaf(Level& level) {

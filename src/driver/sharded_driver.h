@@ -17,6 +17,13 @@
 //       -> one ingest thread per shard, feeding Summary::InsertBatch
 //         -> query-time merge of all shards into a scratch summary.
 //
+// The driver is written against the unified Summary protocol: any type
+// modeling ShardableSummary works, including the type-erased
+// castream::AnySummary (one driver instantiation for every registry kind),
+// and SerializeShard snapshots a shard in the src/io wire format — the
+// in-process end of the cross-process sharding flow that
+// examples/castream_shardctl.cpp demonstrates between real processes.
+//
 // Determinism: with a single writer, each shard receives its sub-stream in
 // arrival order (queues are FIFO and batched ingest is exactly equivalent to
 // one-at-a-time ingest), so the driver's answers are bit-for-bit equal to
@@ -35,6 +42,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -48,11 +56,22 @@
 namespace castream {
 
 /// \brief A summary the driver can shard: batch ingest plus in-family merge.
+/// Every summary modeling the unified Summary protocol qualifies — including
+/// the type-erased castream::AnySummary, so one driver instantiation serves
+/// whatever kind the registry built.
 template <typename S>
 concept ShardableSummary = requires(S s, const S& cs) {
   s.InsertBatch(std::span<const Tuple>{});
   { s.MergeFrom(cs) } -> std::same_as<Status>;
 };
+
+/// \brief Summaries that additionally model the durable half of the Summary
+/// protocol (Serialize into the versioned wire format of src/io).
+template <typename S>
+concept SerializableSummary = ShardableSummary<S> &&
+    requires(const S& cs, std::string* out) {
+      { cs.Serialize(out) } -> std::same_as<Status>;
+    };
 
 struct ShardedDriverOptions {
   /// Shard (and ingest thread) count; clamped to >= 1.
@@ -184,11 +203,33 @@ class ShardedDriver {
   Result<Summary> MergedSummary() {
     Flush();
     Summary merged = make_summary_();
+    // A never-written driver answers as a freshly built summary — the
+    // defined zero-stream state — rather than through S merges of empty
+    // shards into the scratch (equivalent today, but an edge path no query
+    // semantics should rest on). Checked after Flush, so "never written"
+    // really means no tuple has reached any shard.
+    if (tuples_processed() == 0) return merged;
     for (auto& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard->summary_mu);
       CASTREAM_RETURN_NOT_OK(merged.MergeFrom(shard->summary));
     }
     return merged;
+  }
+
+  /// \brief Serializes shard s's summary (the versioned wire format of
+  /// src/io) — the unit a cross-process deployment ships to a reducer.
+  /// Call Flush()/WaitIdle() first for a batch-complete snapshot; the shard
+  /// keeps ingesting afterwards. Available when the summary models the
+  /// durable protocol (all registry kinds and AnySummary do).
+  [[nodiscard]] Status SerializeShard(uint32_t s, std::string* out)
+    requires SerializableSummary<Summary>
+  {
+    if (s >= shards_.size()) {
+      return Status::InvalidArgument(
+          "ShardedDriver::SerializeShard: shard index out of range");
+    }
+    std::lock_guard<std::mutex> lock(shards_[s]->summary_mu);
+    return shards_[s]->summary.Serialize(out);
   }
 
   /// \brief Convenience point query (summary types with a single-cutoff

@@ -86,6 +86,12 @@ class RowHashSet {
   uint32_t depth() const { return static_cast<uint32_t>(rows_.size()); }
   uint32_t width() const { return width_; }
 
+  /// \brief The construction seed. Together with depth and width it is the
+  /// family's complete value identity (see SameFamily), which is what the
+  /// wire format serializes: a deserialized summary rebuilds the exact same
+  /// hash functions from these three values.
+  uint64_t seed() const { return seed_; }
+
   /// \brief True when `other` computes the exact same hash functions: the
   /// rows are drawn deterministically from (seed, depth, width), so value
   /// equality of those three is function equality. This is what lets

@@ -1,0 +1,118 @@
+// Checked binary reader for the summary wire format (see encoder.h).
+//
+// Every read validates remaining length and returns Status instead of
+// crashing: a truncated, bit-flipped, or adversarial blob must surface
+// InvalidArgument from Deserialize, never UB or an allocation explosion.
+// Count fields are therefore read through ReadCount, which caps the declared
+// element count by the bytes actually remaining — a 4-byte count can claim
+// 2^32 entries, but it cannot make the decoder reserve more memory than the
+// blob could possibly back.
+#ifndef CASTREAM_IO_DECODER_H_
+#define CASTREAM_IO_DECODER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace castream::io {
+
+/// \brief Sequential little-endian reader over a borrowed byte span.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool Done() const { return pos_ == bytes_.size(); }
+
+  [[nodiscard]] Status ReadU8(uint8_t* v) {
+    if (remaining() < 1) return Truncated("u8");
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadU32(uint32_t* v) {
+    if (remaining() < 4) return Truncated("u32");
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadU64(uint64_t* v) {
+    if (remaining() < 8) return Truncated("u64");
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadI64(int64_t* v) {
+    uint64_t u = 0;
+    CASTREAM_RETURN_NOT_OK(ReadU64(&u));
+    *v = static_cast<int64_t>(u);
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadI32(int32_t* v) {
+    uint32_t u = 0;
+    CASTREAM_RETURN_NOT_OK(ReadU32(&u));
+    *v = static_cast<int32_t>(u);
+    return Status::OK();
+  }
+
+  /// \brief Reads a u32 element count and caps it by the bytes remaining:
+  /// each element will consume at least `min_bytes_each` (>= 1), so a count
+  /// exceeding remaining()/min_bytes_each proves the blob corrupt before any
+  /// allocation sized by it happens.
+  [[nodiscard]] Status ReadCount(uint32_t* count, size_t min_bytes_each) {
+    uint32_t n = 0;
+    CASTREAM_RETURN_NOT_OK(ReadU32(&n));
+    if (min_bytes_each == 0) min_bytes_each = 1;
+    if (n > remaining() / min_bytes_each) {
+      return Status::InvalidArgument(
+          "decode: declared element count exceeds the bytes remaining in "
+          "the payload (truncated or corrupt blob)");
+    }
+    *count = n;
+    return Status::OK();
+  }
+
+  /// \brief Borrows the next n bytes without copying.
+  [[nodiscard]] Status ReadBytes(size_t n, std::span<const std::byte>* out) {
+    if (remaining() < n) return Truncated("bytes");
+    *out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::InvalidArgument(
+        std::string("decode: payload truncated while reading ") + what);
+  }
+
+  std::span<const std::byte> bytes_;
+  size_t pos_ = 0;
+};
+
+/// \brief Convenience view of a serialized string as the byte span
+/// Deserialize expects.
+inline std::span<const std::byte> BytesOf(const std::string& s) {
+  return std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(s.data()), s.size());
+}
+
+}  // namespace castream::io
+
+#endif  // CASTREAM_IO_DECODER_H_

@@ -1,0 +1,89 @@
+#include "src/io/format.h"
+
+namespace castream {
+
+std::string_view SummaryKindName(SummaryKind kind) {
+  switch (kind) {
+    case SummaryKind::kCorrelatedF2:
+      return "f2";
+    case SummaryKind::kCorrelatedF0:
+      return "f0";
+    case SummaryKind::kCorrelatedRarity:
+      return "rarity";
+    case SummaryKind::kCorrelatedF2HeavyHitters:
+      return "hh";
+  }
+  return "unknown";
+}
+
+Result<SummaryKind> SummaryKindFromName(std::string_view name) {
+  if (name == "f2") return SummaryKind::kCorrelatedF2;
+  if (name == "f0") return SummaryKind::kCorrelatedF0;
+  if (name == "rarity") return SummaryKind::kCorrelatedRarity;
+  if (name == "hh") return SummaryKind::kCorrelatedF2HeavyHitters;
+  return Status::InvalidArgument(
+      "unknown summary kind name (expected f2, f0, rarity, or hh): " +
+      std::string(name));
+}
+
+namespace io {
+
+Result<SummaryKind> PeekKind(std::span<const std::byte> bytes) {
+  Decoder dec(bytes);
+  uint32_t magic = 0;
+  CASTREAM_RETURN_NOT_OK(dec.ReadU32(&magic));
+  if (magic != kMagic) {
+    return Status::InvalidArgument(
+        "deserialize: bad magic (not a CAStream summary blob)");
+  }
+  uint32_t kind = 0;
+  CASTREAM_RETURN_NOT_OK(dec.ReadU32(&kind));
+  switch (static_cast<SummaryKind>(kind)) {
+    case SummaryKind::kCorrelatedF2:
+    case SummaryKind::kCorrelatedF0:
+    case SummaryKind::kCorrelatedRarity:
+    case SummaryKind::kCorrelatedF2HeavyHitters:
+      return static_cast<SummaryKind>(kind);
+  }
+  return Status::InvalidArgument(
+      "deserialize: unregistered summary kind tag " + std::to_string(kind));
+}
+
+Status ReadEnvelope(Decoder& dec, SummaryKind expected_kind,
+                    uint32_t expected_version) {
+  uint32_t magic = 0;
+  CASTREAM_RETURN_NOT_OK(dec.ReadU32(&magic));
+  if (magic != kMagic) {
+    return Status::InvalidArgument(
+        "deserialize: bad magic (not a CAStream summary blob)");
+  }
+  uint32_t kind = 0;
+  CASTREAM_RETURN_NOT_OK(dec.ReadU32(&kind));
+  if (kind != static_cast<uint32_t>(expected_kind)) {
+    return Status::PreconditionFailed(
+        "deserialize: blob holds a '" +
+        std::string(SummaryKindName(static_cast<SummaryKind>(kind))) +
+        "' summary, not the requested '" +
+        std::string(SummaryKindName(expected_kind)) + "'");
+  }
+  uint32_t version = 0;
+  CASTREAM_RETURN_NOT_OK(dec.ReadU32(&version));
+  if (version != expected_version) {
+    return Status::InvalidArgument(
+        "deserialize: unsupported format version " + std::to_string(version) +
+        " for kind '" + std::string(SummaryKindName(expected_kind)) +
+        "' (this build reads version " + std::to_string(expected_version) +
+        ")");
+  }
+  uint64_t length = 0;
+  CASTREAM_RETURN_NOT_OK(dec.ReadU64(&length));
+  if (length != dec.remaining()) {
+    return Status::InvalidArgument(
+        "deserialize: envelope length does not match the payload "
+        "(truncated blob or trailing garbage)");
+  }
+  return Status::OK();
+}
+
+}  // namespace io
+}  // namespace castream

@@ -1,0 +1,117 @@
+// The versioned envelope of the summary wire format, and the concept a
+// sketch family must model for the generic framework to be serializable.
+//
+// Blob layout (all integers little-endian, see encoder.h):
+//
+//   u32 magic      'C' 'A' 'S' 'T'
+//   u32 kind       SummaryKind of the payload
+//   u32 version    per-kind format version (bump on any layout change)
+//   u64 length     body bytes following this header
+//   ...body...     type-specific (see the Serialize methods in src/core)
+//
+// The length prefix frames a blob inside a larger buffer; Deserialize on a
+// whole-blob span additionally requires the frame to consume the span
+// exactly, so trailing garbage is an error rather than silently ignored.
+// Wrong magic / version / truncation yield InvalidArgument; a well-formed
+// blob of a different kind yields PreconditionFailed (same taxonomy as the
+// hash-family checks in MergeFrom).
+#ifndef CASTREAM_IO_FORMAT_H_
+#define CASTREAM_IO_FORMAT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/io/decoder.h"
+#include "src/io/encoder.h"
+
+namespace castream {
+
+/// \brief The registered durable summary types (wire-format tags; values are
+/// part of the format and must never be reused).
+enum class SummaryKind : uint32_t {
+  kCorrelatedF2 = 1,
+  kCorrelatedF0 = 2,
+  kCorrelatedRarity = 3,
+  kCorrelatedF2HeavyHitters = 4,
+};
+
+/// \brief Human-readable name ("f2", "f0", "rarity", "hh") or "unknown".
+std::string_view SummaryKindName(SummaryKind kind);
+
+/// \brief Parses a kind name as printed by SummaryKindName.
+Result<SummaryKind> SummaryKindFromName(std::string_view name);
+
+namespace io {
+
+inline constexpr uint32_t kMagic = 0x54534143u;  // "CAST" little-endian
+
+/// \brief Current format version per kind. All four formats were introduced
+/// together; bump the one you change (and add a golden fixture for the old
+/// version if backward reading is kept).
+inline constexpr uint32_t kCorrelatedF2Version = 1;
+inline constexpr uint32_t kCorrelatedF0Version = 1;
+inline constexpr uint32_t kCorrelatedRarityVersion = 1;
+inline constexpr uint32_t kCorrelatedF2HeavyHittersVersion = 1;
+
+/// \brief Writes the envelope with a zero length placeholder; returns the
+/// offset to patch via EndEnvelope once the body is encoded.
+inline size_t BeginEnvelope(Encoder& enc, SummaryKind kind,
+                            uint32_t version) {
+  enc.PutU32(kMagic);
+  enc.PutU32(static_cast<uint32_t>(kind));
+  enc.PutU32(version);
+  const size_t patch = enc.size();
+  enc.PutU64(0);
+  return patch;
+}
+
+inline void EndEnvelope(Encoder& enc, size_t patch_offset) {
+  enc.PatchU64(patch_offset, enc.size() - (patch_offset + 8));
+}
+
+/// \brief Reads the kind field of a blob without consuming it, so a
+/// type-erased reader (AnySummary::Deserialize) can dispatch.
+[[nodiscard]] Result<SummaryKind> PeekKind(std::span<const std::byte> bytes);
+
+/// \brief Consumes and validates a whole-blob envelope: magic, expected
+/// kind, expected version, and a length field that matches the remaining
+/// span exactly (one blob per span; no trailing garbage).
+[[nodiscard]] Status ReadEnvelope(Decoder& dec, SummaryKind expected_kind,
+                                  uint32_t expected_version);
+
+/// \brief What a sketch factory must provide for summaries built on it to
+/// be durable: the family itself (hash seeds and dimensions — the value
+/// identity MergeFrom checks) and its sketches must encode and decode.
+/// Modeled by AmsF2SketchFactory and F2HeavyHitterBundleFactory; factories
+/// without wire support (ExactAggregateFactory, FkSketchFactory) simply
+/// leave CorrelatedSketch's Serialize/Deserialize uninstantiated.
+template <typename F>
+concept SerializableSketchFamily = requires(
+    const F& f, Encoder& enc, Decoder& dec,
+    const std::decay_t<decltype(std::declval<const F&>().Create())>& sketch) {
+  f.EncodeFamily(enc);
+  { F::DecodeFamily(dec) } -> std::same_as<Result<F>>;
+  f.EncodeSketch(enc, sketch);
+  {
+    f.DecodeSketch(dec)
+  } -> std::same_as<
+      Result<std::decay_t<decltype(std::declval<const F&>().Create())>>>;
+};
+
+/// \brief Factories whose CorrelatedSketch instantiation is a registered
+/// top-level summary (gives the generic Serialize/Deserialize its envelope
+/// kind and version).
+template <typename F>
+concept RegisteredSummaryFactory = SerializableSketchFamily<F> && requires {
+  { F::kSummaryKind } -> std::convertible_to<SummaryKind>;
+  { F::kFormatVersion } -> std::convertible_to<uint32_t>;
+};
+
+}  // namespace io
+}  // namespace castream
+
+#endif  // CASTREAM_IO_FORMAT_H_

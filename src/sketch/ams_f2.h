@@ -31,6 +31,9 @@
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/hash/row_hasher.h"
+#include "src/io/decoder.h"
+#include "src/io/encoder.h"
+#include "src/io/format.h"
 #include "src/sketch/counter_matrix.h"
 #include "src/sketch/sketch_params.h"
 
@@ -48,6 +51,12 @@ class AmsF2Sketch;
 /// instantiates thousands of per-bucket sketches.
 class AmsF2SketchFactory {
  public:
+  /// CorrelatedSketch<AmsF2SketchFactory> is the registered durable
+  /// "correlated F2" summary; these constants give the generic
+  /// Serialize/Deserialize its envelope tag and version (src/io/format.h).
+  static constexpr SummaryKind kSummaryKind = SummaryKind::kCorrelatedF2;
+  static constexpr uint32_t kFormatVersion = io::kCorrelatedF2Version;
+
   AmsF2SketchFactory(SketchDims dims, uint64_t seed)
       : hashes_(std::make_shared<RowHashSet>(seed, dims.depth, dims.width)) {}
 
@@ -69,6 +78,31 @@ class AmsF2SketchFactory {
 
   uint32_t depth() const { return hashes_->depth(); }
   uint32_t width() const { return hashes_->width(); }
+  uint64_t seed() const { return hashes_->seed(); }
+
+  // ---- Wire format (src/io) ------------------------------------------------
+  // The family's value identity is (seed, depth, width): the hash tables are
+  // drawn deterministically from them, so a decoded factory stamps out
+  // sketches that merge with the originals (RowHashSet::SameFamily).
+
+  void EncodeFamily(io::Encoder& enc) const {
+    enc.PutU64(seed());
+    enc.PutU32(depth());
+    enc.PutU32(width());
+  }
+
+  static Result<AmsF2SketchFactory> DecodeFamily(io::Decoder& dec) {
+    uint64_t seed = 0;
+    uint32_t depth = 0, width = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadU64(&seed));
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&depth));
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&width));
+    CASTREAM_RETURN_NOT_OK(ValidateSketchDims(depth, width));
+    return AmsF2SketchFactory(SketchDims{depth, width}, seed);
+  }
+
+  void EncodeSketch(io::Encoder& enc, const AmsF2Sketch& sketch) const;
+  [[nodiscard]] Result<AmsF2Sketch> DecodeSketch(io::Decoder& dec) const;
 
  private:
   friend class AmsF2Sketch;
@@ -286,6 +320,104 @@ class AmsF2Sketch {
     sparse_ss_ = 0;
   }
 
+  // ---- Wire format (called through the factory's Encode/DecodeSketch) ------
+  // Only integer stream state goes on the wire: sparse entries as (x, weight)
+  // pairs — the per-row pre-hash is recomputed from the family, which is
+  // deterministic, so replayed densification stays bit-identical — and dense
+  // mode as the raw counter cells. sparse_ss_ / row_ss_ are derived and
+  // recomputed on decode (their incremental maintenance is exact integer
+  // arithmetic, so recomputation reproduces them bit-for-bit).
+
+  void EncodeTo(io::Encoder& enc) const {
+    enc.PutI64(count_);
+    if (!counters_.has_value()) {
+      enc.PutU8(0);
+      enc.PutU32(static_cast<uint32_t>(sparse_.size()));
+      for (const SparseEntry& e : sparse_) {
+        enc.PutU64(e.ph.x);
+        enc.PutI64(e.w);
+      }
+      return;
+    }
+    enc.PutU8(1);
+    const uint32_t d = counters_->depth();
+    const uint32_t w = counters_->width();
+    enc.PutU32(d);
+    enc.PutU32(w);
+    for (uint32_t row = 0; row < d; ++row) {
+      for (uint32_t col = 0; col < w; ++col) {
+        enc.PutI64(counters_->at(row, col));
+      }
+    }
+  }
+
+  [[nodiscard]] Status DecodeFrom(io::Decoder& dec) {
+    CASTREAM_RETURN_NOT_OK(dec.ReadI64(&count_));
+    uint8_t mode = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadU8(&mode));
+    if (mode == 0) {
+      uint32_t n = 0;
+      CASTREAM_RETURN_NOT_OK(dec.ReadCount(&n, 16));
+      if (n > SparseCapacity()) {
+        return Status::InvalidArgument(
+            "decode: sparse entry count exceeds this family's capacity");
+      }
+      sparse_.clear();
+      sparse_.reserve(n);
+      sparse_ss_ = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        SparseEntry e;
+        CASTREAM_RETURN_NOT_OK(dec.ReadU64(&e.ph.x));
+        CASTREAM_RETURN_NOT_OK(dec.ReadI64(&e.w));
+        // Entries are unique by item: the encoder aggregates weights per x,
+        // so duplicates prove corruption (and would skew the exact sparse
+        // F2, which assumes one aggregated weight per item).
+        for (const SparseEntry& seen : sparse_) {
+          if (seen.ph.x == e.ph.x) {
+            return Status::InvalidArgument(
+                "decode: duplicate item in sparse sketch entries");
+          }
+        }
+        // Unsigned multiply: defined even for adversarial weights (the
+        // incremental arithmetic it mirrors wraps identically in practice).
+        sparse_ss_ += static_cast<int64_t>(static_cast<uint64_t>(e.w) *
+                                           static_cast<uint64_t>(e.w));
+        sparse_.push_back(e);
+      }
+      return Status::OK();
+    }
+    if (mode != 1) {
+      return Status::InvalidArgument("decode: bad AMS sketch mode byte");
+    }
+    uint32_t d = 0, w = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&d));
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&w));
+    if (d != hashes_->depth() || w != hashes_->width()) {
+      return Status::InvalidArgument(
+          "decode: dense counter dimensions disagree with the hash family");
+    }
+    const size_t cells = static_cast<size_t>(d) * w;
+    if (dec.remaining() < cells * 8) {
+      return Status::InvalidArgument(
+          "decode: payload too short for the declared counter matrix");
+    }
+    counters_.emplace(d, w);
+    row_ss_.assign(d, 0);
+    sparse_.clear();
+    sparse_ss_ = 0;
+    for (uint32_t row = 0; row < d; ++row) {
+      uint64_t ss = 0;  // unsigned: no UB on adversarial counter values
+      for (uint32_t col = 0; col < w; ++col) {
+        int64_t v = 0;
+        CASTREAM_RETURN_NOT_OK(dec.ReadI64(&v));
+        counters_->AddAndReturnOld(row, col, v);
+        ss += static_cast<uint64_t>(v) * static_cast<uint64_t>(v);
+      }
+      row_ss_[row] = static_cast<int64_t>(ss);
+    }
+    return Status::OK();
+  }
+
   std::shared_ptr<const RowHashSet> hashes_;
   std::optional<CounterMatrix> counters_;  // nullopt while sparse
   std::vector<int64_t> row_ss_;            // dense mode: per-row sum-squares
@@ -297,6 +429,18 @@ class AmsF2Sketch {
 
 inline AmsF2Sketch AmsF2SketchFactory::Create() const {
   return AmsF2Sketch(hashes_);
+}
+
+inline void AmsF2SketchFactory::EncodeSketch(io::Encoder& enc,
+                                             const AmsF2Sketch& sketch) const {
+  sketch.EncodeTo(enc);
+}
+
+inline Result<AmsF2Sketch> AmsF2SketchFactory::DecodeSketch(
+    io::Decoder& dec) const {
+  AmsF2Sketch sketch = Create();
+  CASTREAM_RETURN_NOT_OK(sketch.DecodeFrom(dec));
+  return sketch;
 }
 
 }  // namespace castream

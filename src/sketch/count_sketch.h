@@ -17,8 +17,11 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/hash/row_hasher.h"
+#include "src/io/decoder.h"
+#include "src/io/encoder.h"
 #include "src/sketch/counter_matrix.h"
 #include "src/sketch/sketch_params.h"
 
@@ -49,6 +52,28 @@ class CountSketchFactory {
 
   uint32_t depth() const { return hashes_->depth(); }
   uint32_t width() const { return hashes_->width(); }
+  uint64_t seed() const { return hashes_->seed(); }
+
+  // ---- Wire format (src/io; same scheme as AmsF2SketchFactory) -------------
+
+  void EncodeFamily(io::Encoder& enc) const {
+    enc.PutU64(seed());
+    enc.PutU32(depth());
+    enc.PutU32(width());
+  }
+
+  static Result<CountSketchFactory> DecodeFamily(io::Decoder& dec) {
+    uint64_t seed = 0;
+    uint32_t depth = 0, width = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadU64(&seed));
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&depth));
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&width));
+    CASTREAM_RETURN_NOT_OK(ValidateSketchDims(depth, width));
+    return CountSketchFactory(SketchDims{depth, width}, seed);
+  }
+
+  void EncodeSketch(io::Encoder& enc, const CountSketch& sketch) const;
+  [[nodiscard]] Result<CountSketch> DecodeSketch(io::Decoder& dec) const;
 
  private:
   friend class CountSketch;
@@ -220,6 +245,85 @@ class CountSketch {
     sparse_.shrink_to_fit();
   }
 
+  // ---- Wire format (see AmsF2Sketch: sparse entries stay sparse, dense
+  // mode ships raw cells; pre-hashes are recomputed from the family) --------
+
+  void EncodeTo(io::Encoder& enc) const {
+    if (!counters_.has_value()) {
+      enc.PutU8(0);
+      enc.PutU32(static_cast<uint32_t>(sparse_.size()));
+      for (const SparseEntry& e : sparse_) {
+        enc.PutU64(e.ph.x);
+        enc.PutI64(e.w);
+      }
+      return;
+    }
+    enc.PutU8(1);
+    const uint32_t d = counters_->depth();
+    const uint32_t w = counters_->width();
+    enc.PutU32(d);
+    enc.PutU32(w);
+    for (uint32_t row = 0; row < d; ++row) {
+      for (uint32_t col = 0; col < w; ++col) {
+        enc.PutI64(counters_->at(row, col));
+      }
+    }
+  }
+
+  [[nodiscard]] Status DecodeFrom(io::Decoder& dec) {
+    uint8_t mode = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadU8(&mode));
+    if (mode == 0) {
+      uint32_t n = 0;
+      CASTREAM_RETURN_NOT_OK(dec.ReadCount(&n, 16));
+      if (n > SparseCapacity()) {
+        return Status::InvalidArgument(
+            "decode: sparse entry count exceeds this family's capacity");
+      }
+      sparse_.clear();
+      sparse_.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        SparseEntry e;
+        CASTREAM_RETURN_NOT_OK(dec.ReadU64(&e.ph.x));
+        CASTREAM_RETURN_NOT_OK(dec.ReadI64(&e.w));
+        // Entries are unique by item (see AmsF2Sketch::DecodeFrom).
+        for (const SparseEntry& seen : sparse_) {
+          if (seen.ph.x == e.ph.x) {
+            return Status::InvalidArgument(
+                "decode: duplicate item in sparse sketch entries");
+          }
+        }
+        sparse_.push_back(e);
+      }
+      return Status::OK();
+    }
+    if (mode != 1) {
+      return Status::InvalidArgument("decode: bad CountSketch mode byte");
+    }
+    uint32_t d = 0, w = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&d));
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&w));
+    if (d != hashes_->depth() || w != hashes_->width()) {
+      return Status::InvalidArgument(
+          "decode: dense counter dimensions disagree with the hash family");
+    }
+    const size_t cells = static_cast<size_t>(d) * w;
+    if (dec.remaining() < cells * 8) {
+      return Status::InvalidArgument(
+          "decode: payload too short for the declared counter matrix");
+    }
+    counters_.emplace(d, w);
+    sparse_.clear();
+    for (uint32_t row = 0; row < d; ++row) {
+      for (uint32_t col = 0; col < w; ++col) {
+        int64_t v = 0;
+        CASTREAM_RETURN_NOT_OK(dec.ReadI64(&v));
+        counters_->AddAndReturnOld(row, col, v);
+      }
+    }
+    return Status::OK();
+  }
+
   double MedianOfScratch() const {
     const size_t mid = scratch_.size() / 2;
     std::nth_element(scratch_.begin(), scratch_.begin() + mid, scratch_.end());
@@ -236,6 +340,18 @@ class CountSketch {
 
 inline CountSketch CountSketchFactory::Create() const {
   return CountSketch(hashes_);
+}
+
+inline void CountSketchFactory::EncodeSketch(io::Encoder& enc,
+                                             const CountSketch& sketch) const {
+  sketch.EncodeTo(enc);
+}
+
+inline Result<CountSketch> CountSketchFactory::DecodeSketch(
+    io::Decoder& dec) const {
+  CountSketch sketch = Create();
+  CASTREAM_RETURN_NOT_OK(sketch.DecodeFrom(dec));
+  return sketch;
 }
 
 }  // namespace castream

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "src/common/bit_util.h"
+#include "src/common/status.h"
 
 namespace castream {
 
@@ -15,6 +16,21 @@ struct SketchDims {
   uint32_t depth = 1;
   uint32_t width = 16;
 };
+
+/// \brief Sanity bounds on sketch dimensions read from a serialized blob:
+/// keeps a corrupt payload from driving a multi-gigabyte counter-matrix
+/// allocation before any byte of counter data is validated.
+[[nodiscard]] inline Status ValidateSketchDims(uint32_t depth,
+                                               uint32_t width) {
+  if (depth < 1 || depth > 256) {
+    return Status::InvalidArgument("decode: sketch depth out of range [1, 256]");
+  }
+  if (width < 1 || width > (uint32_t{1} << 26) || (width & (width - 1)) != 0) {
+    return Status::InvalidArgument(
+        "decode: sketch width must be a power of two in [1, 2^26]");
+  }
+  return Status::OK();
+}
 
 /// \brief Dimensions for an AMS-F2 sketch giving an (eps, delta) estimator.
 ///

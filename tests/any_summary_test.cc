@@ -1,0 +1,202 @@
+// The type-erased Unified Summary API: AnySummary must behave exactly like
+// the concrete summary it wraps (it holds one, so answers are bit-for-bit),
+// the SummaryRegistry must build and deserialize every kind by tag or name,
+// and ShardedDriver<AnySummary> must work unchanged — including serializing
+// per-shard blobs whose deserialized merge equals the driver's own merge.
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/any_summary.h"
+#include "src/driver/sharded_driver.h"
+#include "src/io/decoder.h"
+#include "src/stream/types.h"
+#include "tests/test_util.h"
+
+namespace castream {
+namespace {
+
+using test::TestRng;
+
+std::vector<Tuple> MakeStream(size_t n, uint64_t x_domain, uint64_t y_max,
+                              uint64_t seed) {
+  Xoshiro256 rng = TestRng(seed);
+  std::vector<Tuple> stream;
+  stream.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    stream.push_back(
+        Tuple{rng.NextBounded(x_domain + 1), rng.NextBounded(y_max + 1)});
+  }
+  return stream;
+}
+
+SummaryOptions SmallOptions() {
+  SummaryOptions opts;
+  opts.eps = 0.25;
+  opts.delta = 0.2;
+  opts.y_max = (uint64_t{1} << 12) - 1;
+  opts.f_max_hint = 1e8;
+  opts.x_domain = 4095;
+  return opts;
+}
+
+const char* const kKindNames[] = {"f2", "f0", "rarity", "hh"};
+
+TEST(AnySummaryTest, RegistryCoversEveryKindByTagAndName) {
+  EXPECT_EQ(SummaryRegistry::Entries().size(), 4u);
+  for (const char* name : kKindNames) {
+    const auto* by_name = SummaryRegistry::FindByName(name);
+    ASSERT_NE(by_name, nullptr) << name;
+    EXPECT_EQ(SummaryRegistry::Find(by_name->kind), by_name);
+    EXPECT_EQ(SummaryKindName(by_name->kind), name);
+    auto parsed = SummaryKindFromName(name);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), by_name->kind);
+  }
+  EXPECT_EQ(SummaryRegistry::FindByName("nope"), nullptr);
+  EXPECT_FALSE(SummaryKindFromName("nope").ok());
+  EXPECT_FALSE(MakeSummary("nope", SummaryOptions{}, 1).ok());
+}
+
+TEST(AnySummaryTest, EveryKindIngestsQueriesAndRoundTrips) {
+  const auto opts = SmallOptions();
+  const auto stream = MakeStream(8000, opts.x_domain, opts.y_max, 21);
+  for (const char* name : kKindNames) {
+    auto made = MakeSummary(name, opts, /*seed=*/77);
+    ASSERT_TRUE(made.ok()) << name;
+    AnySummary summary = std::move(made).value();
+    ASSERT_TRUE(summary.has_value());
+    EXPECT_EQ(SummaryKindName(summary.kind()), name);
+    summary.InsertBatch(stream);
+    summary.Insert(stream[0]);
+    EXPECT_GT(summary.SizeBytes(), 0u);
+
+    std::string blob;
+    ASSERT_TRUE(summary.Serialize(&blob).ok()) << name;
+    auto back = AnySummary::Deserialize(io::BytesOf(blob));
+    ASSERT_TRUE(back.ok()) << name << ": " << back.status().ToString();
+    EXPECT_EQ(back.value().kind(), summary.kind());
+    for (uint64_t c : {uint64_t{0}, uint64_t{100}, opts.y_max / 2,
+                       opts.y_max}) {
+      const auto qa = summary.Query(c);
+      const auto qb = back.value().Query(c);
+      ASSERT_EQ(qa.ok(), qb.ok()) << name << " c=" << c;
+      if (qa.ok()) {
+        EXPECT_EQ(qa.value(), qb.value()) << name << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(AnySummaryTest, WrapsAreBitForBitTheConcreteSummary) {
+  const auto opts = SmallOptions();
+  const auto stream = MakeStream(6000, opts.x_domain, opts.y_max, 22);
+
+  // Same construction path (MakeSummary uses MakeCorrelatedF2 under the
+  // hood), same seed, same stream: answers must be identical, not close.
+  CorrelatedSketchOptions fopts;
+  fopts.eps = opts.eps;
+  fopts.delta = opts.delta;
+  fopts.y_max = opts.y_max;
+  fopts.f_max_hint = opts.f_max_hint;
+  CorrelatedF2Sketch concrete = MakeCorrelatedF2(fopts, /*seed=*/33);
+  concrete.InsertBatch(stream);
+
+  auto made = MakeSummary(SummaryKind::kCorrelatedF2, opts, /*seed=*/33);
+  ASSERT_TRUE(made.ok());
+  AnySummary erased = std::move(made).value();
+  erased.InsertBatch(stream);
+
+  ASSERT_NE(erased.TryAs<CorrelatedF2Sketch>(), nullptr);
+  EXPECT_EQ(erased.TryAs<CorrelatedF0Sketch>(), nullptr);
+  for (uint64_t c : {uint64_t{0}, uint64_t{512}, opts.y_max}) {
+    const auto qa = concrete.Query(c);
+    const auto qb = erased.Query(c);
+    ASSERT_EQ(qa.ok(), qb.ok()) << "c=" << c;
+    if (qa.ok()) {
+      EXPECT_EQ(qa.value(), qb.value()) << "c=" << c;
+    }
+  }
+}
+
+TEST(AnySummaryTest, HeavyHitterQueriesDispatch) {
+  const auto opts = SmallOptions();
+  auto f2 = MakeSummary("f2", opts, 1);
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(f2.value().QueryHeavyHitters(10, 0.1).status().code(),
+            Status::Code::kNotSupported);
+
+  auto hh = MakeSummary("hh", opts, 1);
+  ASSERT_TRUE(hh.ok());
+  AnySummary summary = std::move(hh).value();
+  std::vector<Tuple> heavy(4000, Tuple{7, 5});
+  summary.InsertBatch(heavy);
+  auto hits = summary.QueryHeavyHitters(opts.y_max, 0.5);
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  ASSERT_EQ(hits.value().size(), 1u);
+  EXPECT_EQ(hits.value()[0].item, 7u);
+}
+
+TEST(AnySummaryTest, MergeChecksKindsAndEmptiness) {
+  const auto opts = SmallOptions();
+  AnySummary f2 = std::move(MakeSummary("f2", opts, 1)).value();
+  AnySummary f0 = std::move(MakeSummary("f0", opts, 1)).value();
+  EXPECT_EQ(f2.MergeFrom(f0).code(), Status::Code::kPreconditionFailed);
+
+  AnySummary empty;
+  EXPECT_FALSE(empty.has_value());
+  EXPECT_EQ(f2.MergeFrom(empty).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(empty.Query(1).status().code(), Status::Code::kInvalidArgument);
+  std::string blob;
+  EXPECT_EQ(empty.Serialize(&blob).code(), Status::Code::kInvalidArgument);
+
+  AnySummary f2b = std::move(MakeSummary("f2", opts, 1)).value();
+  f2b.Insert(1, 2);
+  EXPECT_TRUE(f2.MergeFrom(f2b).ok());
+  // Same kind, different seed: the concrete family check still fires.
+  AnySummary f2c = std::move(MakeSummary("f2", opts, 2)).value();
+  EXPECT_EQ(f2.MergeFrom(f2c).code(), Status::Code::kPreconditionFailed);
+}
+
+TEST(AnySummaryTest, ShardedDriverRunsOnAnySummaryAndShipsShardBlobs) {
+  const auto opts = SmallOptions();
+  const auto stream = MakeStream(12000, opts.x_domain, opts.y_max, 23);
+  for (const char* name : kKindNames) {
+    auto make = [&] {
+      return std::move(MakeSummary(name, opts, /*seed=*/88)).value();
+    };
+    ShardedDriverOptions dopts;
+    dopts.shards = 3;
+    dopts.batch_size = 256;
+    ShardedDriver<AnySummary> driver(dopts, make);
+    driver.InsertBatch(stream);
+    driver.Flush();
+
+    // Cross-process path, in miniature: serialize every shard, deserialize
+    // the blobs, merge — must equal the driver's own in-process merge.
+    AnySummary from_blobs = make();
+    for (uint32_t s = 0; s < driver.shard_count(); ++s) {
+      std::string blob;
+      ASSERT_TRUE(driver.SerializeShard(s, &blob).ok()) << name;
+      auto shard = AnySummary::Deserialize(io::BytesOf(blob));
+      ASSERT_TRUE(shard.ok()) << name << ": " << shard.status().ToString();
+      ASSERT_TRUE(from_blobs.MergeFrom(shard.value()).ok()) << name;
+    }
+    auto merged = driver.MergedSummary();
+    ASSERT_TRUE(merged.ok()) << name;
+    for (uint64_t c : {uint64_t{0}, uint64_t{777}, opts.y_max}) {
+      const auto qa = merged.value().Query(c);
+      const auto qb = from_blobs.Query(c);
+      ASSERT_EQ(qa.ok(), qb.ok()) << name << " c=" << c;
+      if (qa.ok()) {
+        EXPECT_EQ(qa.value(), qb.value()) << name << " c=" << c;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace castream

@@ -1,0 +1,139 @@
+// Wire-format compatibility gate (ISSUE 4 satellite): the checked-in blobs
+// under tests/golden/ were written by the version-1 encoders over a fixed,
+// fully deterministic stream. This suite deserializes them and requires the
+// answers — and the bytes a fresh encode produces — to match a summary
+// built live over the same stream. If this test breaks, the wire format (or
+// the summaries' deterministic behavior) changed: bump the format version
+// in src/io/format.h knowingly and regenerate the fixtures with
+//   CASTREAM_REGEN_GOLDEN=1 ./golden_compat_test
+// (the directory comes from the CASTREAM_GOLDEN_DIR compile definition).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/any_summary.h"
+#include "src/io/decoder.h"
+#include "src/stream/types.h"
+#include "tests/test_util.h"
+
+#ifndef CASTREAM_GOLDEN_DIR
+#define CASTREAM_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace castream {
+namespace {
+
+using test::TestRng;
+
+// Fixture parameters are frozen: changing any of them invalidates the
+// checked-in blobs just as surely as a format change would.
+SummaryOptions GoldenOptions() {
+  SummaryOptions opts;
+  opts.eps = 0.5;         // coarse on purpose: fixtures stay tens of KB
+  opts.delta = 0.25;
+  opts.y_max = 1023;
+  opts.f_max_hint = 1e3;  // few levels; enough splits to exercise the trees
+  opts.x_domain = 1023;
+  opts.phi_eps = 0.25;
+  opts.max_candidates = 8;
+  return opts;
+}
+
+constexpr uint64_t kGoldenSeed = 20260728;
+constexpr size_t kGoldenStreamLen = 1000;
+
+std::vector<Tuple> GoldenStream() {
+  Xoshiro256 rng = TestRng(kGoldenSeed);
+  std::vector<Tuple> stream;
+  stream.reserve(kGoldenStreamLen);
+  for (size_t i = 0; i < kGoldenStreamLen; ++i) {
+    const uint64_t x = (rng.NextBounded(5) == 0) ? rng.NextBounded(4)
+                                                 : rng.NextBounded(500);
+    stream.push_back(Tuple{x, rng.NextBounded(1024)});
+  }
+  return stream;
+}
+
+AnySummary BuildGoldenSummary(const char* kind) {
+  auto made = MakeSummary(kind, GoldenOptions(), /*seed=*/kGoldenSeed);
+  EXPECT_TRUE(made.ok());
+  AnySummary summary = std::move(made).value();
+  summary.InsertBatch(GoldenStream());
+  return summary;
+}
+
+std::string FixturePath(const char* kind) {
+  return std::string(CASTREAM_GOLDEN_DIR) + "/golden_" + kind + "_v1.bin";
+}
+
+bool RegenRequested() {
+  const char* env = std::getenv("CASTREAM_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+const char* const kKindNames[] = {"f2", "f0", "rarity", "hh"};
+
+TEST(GoldenCompatTest, CheckedInBlobsStillDecodeAndAnswer) {
+  if (RegenRequested()) {
+    for (const char* kind : kKindNames) {
+      AnySummary summary = BuildGoldenSummary(kind);
+      std::string blob;
+      ASSERT_TRUE(summary.Serialize(&blob).ok()) << kind;
+      std::ofstream out(FixturePath(kind), std::ios::binary);
+      ASSERT_TRUE(out.good()) << FixturePath(kind);
+      out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+      ASSERT_TRUE(out.good()) << FixturePath(kind);
+      std::printf("regenerated %s (%zu bytes)\n", FixturePath(kind).c_str(),
+                  blob.size());
+    }
+    GTEST_SKIP() << "fixtures regenerated, not checked";
+  }
+
+  for (const char* kind : kKindNames) {
+    std::ifstream in(FixturePath(kind), std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden fixture " << FixturePath(kind)
+        << " — regenerate with CASTREAM_REGEN_GOLDEN=1 and commit it";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string golden = buf.str();
+
+    auto decoded = AnySummary::Deserialize(io::BytesOf(golden));
+    ASSERT_TRUE(decoded.ok())
+        << kind << ": golden blob no longer decodes ("
+        << decoded.status().ToString()
+        << ") — the wire format changed; bump the version in "
+           "src/io/format.h and regenerate knowingly";
+    EXPECT_EQ(SummaryKindName(decoded.value().kind()), kind);
+
+    // Answers from the golden blob must equal a live rebuild bit-for-bit.
+    AnySummary live = BuildGoldenSummary(kind);
+    for (uint64_t c = 0; c <= 1023; c += 73) {
+      const auto qa = live.Query(c);
+      const auto qb = decoded.value().Query(c);
+      ASSERT_EQ(qa.ok(), qb.ok()) << kind << " c=" << c;
+      if (qa.ok()) {
+        EXPECT_EQ(qa.value(), qb.value()) << kind << " c=" << c;
+      }
+    }
+
+    // And a fresh encode reproduces the committed bytes exactly: the writer
+    // is as frozen as the reader. A mismatch here with passing answers
+    // means the encoder changed silently — still a version-bump event.
+    std::string reencoded;
+    ASSERT_TRUE(live.Serialize(&reencoded).ok()) << kind;
+    EXPECT_EQ(reencoded, golden)
+        << kind
+        << ": serialization output changed for identical input; bump the "
+           "format version and regenerate the fixtures";
+  }
+}
+
+}  // namespace
+}  // namespace castream

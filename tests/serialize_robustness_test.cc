@@ -1,0 +1,192 @@
+// Hostile-input behavior of Deserialize (ISSUE 4 satellite): truncated,
+// bit-flipped, wrong-magic, wrong-version, and count-inflated payloads must
+// come back as InvalidArgument / PreconditionFailed — never a crash, hang,
+// or unbounded allocation (decoded allocations are capped by the bytes the
+// blob actually contains; see io::Decoder::ReadCount). The CI ASan+UBSan
+// job runs this suite, so any out-of-bounds read or UB on these paths
+// fails loudly.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/any_summary.h"
+#include "src/io/decoder.h"
+#include "src/stream/types.h"
+#include "tests/test_util.h"
+
+namespace castream {
+namespace {
+
+using test::TestRng;
+
+SummaryOptions SmallOptions() {
+  // Deliberately coarse: the suite decodes thousands of tampered variants
+  // of each blob, so blobs must stay small for the suite to stay fast.
+  SummaryOptions opts;
+  opts.eps = 0.5;
+  opts.delta = 0.25;
+  opts.y_max = 1023;
+  opts.f_max_hint = 1e3;
+  opts.x_domain = 1023;
+  opts.phi_eps = 0.25;
+  opts.max_candidates = 8;
+  return opts;
+}
+
+std::string BuildBlob(const char* kind) {
+  auto made = MakeSummary(kind, SmallOptions(), /*seed=*/31);
+  EXPECT_TRUE(made.ok());
+  AnySummary summary = std::move(made).value();
+  Xoshiro256 rng = TestRng(5);
+  std::vector<Tuple> stream;
+  for (int i = 0; i < 1500; ++i) {
+    stream.push_back(Tuple{rng.NextBounded(400), rng.NextBounded(1024)});
+  }
+  summary.InsertBatch(stream);
+  std::string blob;
+  EXPECT_TRUE(summary.Serialize(&blob).ok());
+  return blob;
+}
+
+// A tampered blob must either decode (the flip hit semantically-neutral or
+// still-valid data) or fail with the documented error codes. It must never
+// crash — that part is enforced by simply running, and by ASan/UBSan in CI.
+void ExpectSafeOutcome(const std::string& blob, const char* what) {
+  auto result = AnySummary::Deserialize(io::BytesOf(blob));
+  if (result.ok()) return;
+  const Status::Code code = result.status().code();
+  EXPECT_TRUE(code == Status::Code::kInvalidArgument ||
+              code == Status::Code::kPreconditionFailed)
+      << what << ": unexpected error " << result.status().ToString();
+}
+
+const char* const kKindNames[] = {"f2", "f0", "rarity", "hh"};
+
+TEST(SerializeRobustnessTest, EveryTruncationIsRejectedCleanly) {
+  for (const char* kind : kKindNames) {
+    const std::string blob = BuildBlob(kind);
+    ASSERT_GT(blob.size(), 64u);
+    std::vector<size_t> lengths;
+    for (size_t n = 0; n < 64 && n < blob.size(); ++n) lengths.push_back(n);
+    for (size_t n = 64; n < blob.size(); n += 509) lengths.push_back(n);
+    lengths.push_back(blob.size() - 1);
+    for (size_t n : lengths) {
+      auto result = AnySummary::Deserialize(
+          io::BytesOf(std::string(blob.data(), n)));
+      ASSERT_FALSE(result.ok()) << kind << " truncated to " << n;
+      EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument)
+          << kind << " truncated to " << n << ": "
+          << result.status().ToString();
+    }
+  }
+}
+
+TEST(SerializeRobustnessTest, TrailingGarbageIsRejected) {
+  for (const char* kind : kKindNames) {
+    std::string blob = BuildBlob(kind);
+    blob.push_back('\0');
+    auto result = AnySummary::Deserialize(io::BytesOf(blob));
+    ASSERT_FALSE(result.ok()) << kind;
+    EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument) << kind;
+  }
+}
+
+TEST(SerializeRobustnessTest, BitFlipsNeverCrashOrMisclassify) {
+  for (const char* kind : kKindNames) {
+    const std::string blob = BuildBlob(kind);
+    // Every bit of the header and early body, then strided samples across
+    // the rest (sketch payloads are large and mostly counter cells; flipping
+    // every bit of every blob would dominate the suite's runtime — Debug and
+    // sanitizer builds run this too — without adding coverage).
+    std::vector<size_t> positions;
+    for (size_t i = 0; i < 256 && i < blob.size(); ++i) positions.push_back(i);
+    for (size_t i = 256; i < blob.size(); i += 997) positions.push_back(i);
+    for (size_t pos : positions) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string tampered = blob;
+        tampered[pos] = static_cast<char>(tampered[pos] ^ (1 << bit));
+        ExpectSafeOutcome(tampered,
+                          (std::string(kind) + " flip byte " +
+                           std::to_string(pos))
+                              .c_str());
+      }
+    }
+  }
+}
+
+TEST(SerializeRobustnessTest, WrongMagicAndVersionAreInvalidArgument) {
+  for (const char* kind : kKindNames) {
+    std::string blob = BuildBlob(kind);
+    {
+      std::string bad = blob;
+      bad[0] = 'X';
+      auto result = AnySummary::Deserialize(io::BytesOf(bad));
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+    }
+    {
+      // Version lives at bytes [8, 12) of the envelope.
+      std::string bad = blob;
+      bad[8] = 99;
+      auto result = AnySummary::Deserialize(io::BytesOf(bad));
+      ASSERT_FALSE(result.ok()) << kind;
+      EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument)
+          << kind << ": " << result.status().ToString();
+    }
+    {
+      // An unregistered kind tag at bytes [4, 8).
+      std::string bad = blob;
+      bad[4] = 0x7f;
+      auto result = AnySummary::Deserialize(io::BytesOf(bad));
+      ASSERT_FALSE(result.ok()) << kind;
+      EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument)
+          << kind;
+    }
+  }
+}
+
+TEST(SerializeRobustnessTest, InflatedCountsCannotDriveAllocations) {
+  // Saturate every 32-bit word of the body in turn: wherever a count field
+  // sits, a 0xFFFFFFFF claim must be rejected by the remaining-bytes cap,
+  // not trusted by a reserve call. (Words that are not counts become
+  // ordinary corruption, which must also be safe.)
+  for (const char* kind : kKindNames) {
+    const std::string blob = BuildBlob(kind);
+    const size_t body_start = 20;  // after magic/kind/version/length
+    std::vector<size_t> offsets;
+    for (size_t off = body_start; off + 4 <= blob.size() && off < 512;
+         off += 4) {
+      offsets.push_back(off);
+    }
+    for (size_t off = 512; off + 4 <= blob.size(); off += 1021) {
+      offsets.push_back(off);
+    }
+    for (size_t off : offsets) {
+      std::string tampered = blob;
+      tampered[off] = '\xff';
+      tampered[off + 1] = '\xff';
+      tampered[off + 2] = '\xff';
+      tampered[off + 3] = '\xff';
+      ExpectSafeOutcome(tampered, (std::string(kind) + " saturate word at " +
+                                   std::to_string(off))
+                                      .c_str());
+    }
+  }
+}
+
+TEST(SerializeRobustnessTest, EmptyAndTinySpans) {
+  auto empty = AnySummary::Deserialize(std::span<const std::byte>{});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), Status::Code::kInvalidArgument);
+  for (size_t n = 1; n <= 20; ++n) {
+    std::string junk(n, '\x5a');
+    auto result = AnySummary::Deserialize(io::BytesOf(junk));
+    ASSERT_FALSE(result.ok()) << n;
+    EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument) << n;
+  }
+}
+
+}  // namespace
+}  // namespace castream
