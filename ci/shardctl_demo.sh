@@ -35,6 +35,10 @@ for kind in f2 f0 rarity hh; do
     blobs+=("$DIR/$kind.$i.$SUFFIX")
   done
   "$REDUCER" reduce --kind "$kind" --verify "${blobs[@]}"
+  # In-process serving stats: snapshot queries during ingest, then the
+  # post-flush snapshot-vs-blocking consistency check (exits nonzero on any
+  # divergence).
+  "$BIN" stats --kind "$kind" --shards "$SHARDS" --count 30000
 done
 
 echo "shardctl demo: all kinds verified ($SHARDS shards, dir $DIR)"

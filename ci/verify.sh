@@ -45,6 +45,20 @@ fi
 
 cmake "${CONFIG_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# Guard the test tier itself: every tests/*_test.cc must be registered with
+# CTest under its file-stem name. The CMake glob makes this automatic today,
+# but a restructuring that drops the glob (or a stale configure) would
+# otherwise silently shrink the suite — green CI with tests not running.
+MISSING_TESTS=$(comm -23 \
+  <(ls tests/*_test.cc | xargs -n1 basename | sed 's/\.cc$//' | sort) \
+  <(cd "$BUILD_DIR" && ctest -N | sed -n 's/^ *Test *#[0-9]*: //p' | sort))
+if [ -n "$MISSING_TESTS" ]; then
+  echo "error: test files in tests/ not registered with CTest:" >&2
+  echo "$MISSING_TESTS" >&2
+  exit 1
+fi
+
 cd "$BUILD_DIR"
 
 # --no-tests=error everywhere: a label that silently matches nothing (a
@@ -72,7 +86,8 @@ fi
 if [ "$BUILD_TYPE" = "Release" ] && [ -z "$SANITIZE" ]; then
   SMOKE_OUT=${BENCH_SMOKE_OUT:-bench_smoke.txt}
   : > "$SMOKE_OUT"
-  for bench in bench_update_throughput bench_sharded_ingest bench_serialize; do
+  for bench in bench_update_throughput bench_sharded_ingest bench_serialize \
+               bench_snapshot_query; do
     if [ -x "./$bench" ]; then
       echo "== bench smoke ($bench) =="
       "./$bench" --benchmark_min_time=0.05 2>&1 | tee -a "$SMOKE_OUT"

@@ -48,6 +48,7 @@
 #include "src/core/options.h"
 #include "src/driver/bounded_queue.h"
 #include "src/driver/sharded_driver.h"
+#include "src/driver/sharded_window.h"
 #include "src/io/decoder.h"
 #include "src/io/encoder.h"
 #include "src/io/format.h"

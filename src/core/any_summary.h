@@ -103,6 +103,17 @@ class AnySummary {
   AnySummary(AnySummary&&) = default;
   AnySummary& operator=(AnySummary&&) = default;
 
+  /// \brief Deep copy of the held summary (empty stays empty). AnySummary is
+  /// move-only on purpose — summaries can be large, so copies must be
+  /// spelled out — and Clone is that spelling: it is what lets generic
+  /// holders (ShardedDriver's copy-on-publish snapshots) treat AnySummary
+  /// like the copyable concrete types.
+  AnySummary Clone() const {
+    AnySummary out;
+    if (impl_) out.impl_ = impl_->Clone();
+    return out;
+  }
+
   bool has_value() const { return impl_ != nullptr; }
 
   /// \brief The held summary's kind; requires has_value().
@@ -193,6 +204,7 @@ class AnySummary {
         uint64_t c, double phi) const = 0;
     virtual Status Serialize(std::string* out) const = 0;
     virtual size_t SizeBytes() const = 0;
+    virtual std::unique_ptr<Interface> Clone() const = 0;
 
     SummaryKind kind_;
   };
@@ -233,6 +245,9 @@ class AnySummary {
       return value_.Serialize(out);
     }
     size_t SizeBytes() const override { return value_.SizeBytes(); }
+    std::unique_ptr<Interface> Clone() const override {
+      return std::make_unique<Model<T>>(kind_, value_);
+    }
 
     T value_;
   };

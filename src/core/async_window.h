@@ -25,6 +25,41 @@
 
 namespace castream {
 
+// Validation and cutoff mapping shared by every sliding-window adapter
+// (AsyncSlidingWindow below and the sharded ShardedAsyncWindow in
+// src/driver/sharded_window.h), so the sharded and unsharded classes
+// surface identical Status codes and identical prefix cutoffs by
+// construction rather than by parallel maintenance.
+
+/// \brief Rejects timestamps outside the configured domain.
+inline Status ValidateAsyncTimestamp(uint64_t t, uint64_t t_max) {
+  if (t > t_max) {
+    return Status::InvalidArgument("timestamp exceeds configured t_max");
+  }
+  return Status::OK();
+}
+
+/// \brief Maps a window query to its mirrored prefix cutoff, enforcing the
+/// model of Section 1.1 / [31]: the watermark must be at or past every
+/// observed timestamp (queries address the *recent* window — a single
+/// prefix predicate cannot exclude the future side). Window width 0 is the
+/// caller's trivial case and must be handled before calling.
+inline Result<uint64_t> AsyncWindowCutoff(uint64_t watermark, uint64_t window,
+                                          uint64_t t_max,
+                                          uint64_t max_observed_t) {
+  if (watermark > t_max) {
+    return Status::InvalidArgument("watermark exceeds configured t_max");
+  }
+  if (watermark < max_observed_t) {
+    return Status::InvalidArgument(
+        "watermark precedes an observed timestamp; sliding-window queries "
+        "address the most recent window only");
+  }
+  const uint64_t oldest = watermark >= window ? watermark - window + 1 : 0;
+  // t >= oldest  <=>  y = t_max - t <= t_max - oldest.
+  return t_max - oldest;
+}
+
 /// \brief Sliding-window aggregation over an out-of-order timestamped
 /// stream, backed by any CorrelatedSketch instantiation.
 template <SketchFamilyFactory Factory>
@@ -37,9 +72,7 @@ class AsyncSlidingWindow {
 
   /// \brief Observes value v stamped t (any arrival order; t <= t_max).
   Status Observe(uint64_t v, uint64_t t) {
-    if (t > t_max_) {
-      return Status::InvalidArgument("timestamp exceeds configured t_max");
-    }
+    CASTREAM_RETURN_NOT_OK(ValidateAsyncTimestamp(t, t_max_));
     max_observed_t_ = std::max(max_observed_t_, t);
     sketch_.Insert(v, t_max_ - t);
     return Status::OK();
@@ -53,17 +86,10 @@ class AsyncSlidingWindow {
   /// ranges — a single prefix predicate cannot exclude the future side.
   Result<double> QueryWindow(uint64_t watermark, uint64_t window) const {
     if (window == 0) return 0.0;
-    if (watermark > t_max_) {
-      return Status::InvalidArgument("watermark exceeds configured t_max");
-    }
-    if (watermark < max_observed_t_) {
-      return Status::InvalidArgument(
-          "watermark precedes an observed timestamp; sliding-window queries "
-          "address the most recent window only");
-    }
-    const uint64_t oldest = watermark >= window ? watermark - window + 1 : 0;
-    // t >= oldest  <=>  y = t_max - t <= t_max - oldest.
-    return sketch_.Query(t_max_ - oldest);
+    CASTREAM_ASSIGN_OR_RETURN(
+        const uint64_t cutoff,
+        AsyncWindowCutoff(watermark, window, t_max_, max_observed_t_));
+    return sketch_.Query(cutoff);
   }
 
   /// \brief Aggregate over all elements with t >= since (suffix predicate).

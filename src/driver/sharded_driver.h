@@ -15,7 +15,33 @@
 //   writers (any number, each with its own Writer handle)
 //     -> per-shard bounded batch queues (backpressure, order-preserving)
 //       -> one ingest thread per shard, feeding Summary::InsertBatch
-//         -> query-time merge of all shards into a scratch summary.
+//          and publishing an epoch-stamped snapshot every K batches
+//         -> query-time merge of the published snapshots.
+//
+// Two query paths share one merge engine:
+//
+//   * Query / MergedSummary (blocking): Flush() first — drain the queues,
+//     republish every changed shard — then merge the snapshots. The answer
+//     covers every tuple handed to the driver before the call.
+//   * SnapshotQuery / SnapshotSummary (non-blocking): merge the snapshots
+//     as they are. Never touches the shard queues or the live summaries, so
+//     it cannot block behind backpressured writers or a slow ingest batch;
+//     the answer is a valid whole-stream answer that is stale by at most
+//     the unpublished tail of each shard (bounded by snapshot_interval
+//     batches plus whatever sits in the queues). The first snapshot query
+//     arms the ingest threads' interval publication — pure-ingest
+//     pipelines never pay the copy-on-publish cost.
+//
+// The merge engine memoizes per-shard prefix merges keyed by snapshot
+// epochs: prefix[k] = fresh summary merged with snapshots 0..k-1, rebuilt
+// from the *first* shard whose epoch advanced. A repeated query over a
+// quiescent driver reuses the cached result with zero shard merges, and
+// when only high-index shards changed the rebuild cost is proportional to
+// the changed suffix, not S. Rebuilding always replays the same linear
+// shard-order merge (prefix copies are plain deep copies), so answers are
+// bit-for-bit identical to merging the shards serially — the invariant
+// tests/sharded_equivalence_test.cc and tests/snapshot_incremental_merge_
+// test.cc pin down.
 //
 // The driver is written against the unified Summary protocol: any type
 // modeling ShardableSummary works, including the type-erased
@@ -36,6 +62,7 @@
 #define CASTREAM_DRIVER_SHARDED_DRIVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <concepts>
 #include <cstdint>
 #include <functional>
@@ -65,6 +92,20 @@ concept ShardableSummary = requires(S s, const S& cs) {
   { s.MergeFrom(cs) } -> std::same_as<Status>;
 };
 
+/// \brief Deep-copyable via an explicit Clone() (the move-only AnySummary's
+/// spelling of a copy).
+template <typename S>
+concept CloneableSummary = requires(const S& cs) {
+  { cs.Clone() } -> std::same_as<S>;
+};
+
+/// \brief What copy-on-publish snapshots need: a deep copy, either the
+/// ordinary copy constructor (all concrete summary types) or Clone()
+/// (AnySummary).
+template <typename S>
+concept SnapshotableSummary =
+    ShardableSummary<S> && (std::copy_constructible<S> || CloneableSummary<S>);
+
 /// \brief Summaries that additionally model the durable half of the Summary
 /// protocol (Serialize into the versioned wire format of src/io).
 template <typename S>
@@ -82,19 +123,35 @@ struct ShardedDriverOptions {
   size_t batch_size = 1024;
   /// Batches buffered per shard queue before writers block (backpressure).
   size_t queue_capacity = 8;
+  /// Each shard's ingest thread republishes its snapshot after this many
+  /// batches (clamped to >= 1). The knob trades snapshot staleness against
+  /// publish (deep copy) overhead on the ingest threads: while a shard is
+  /// actively ingesting, SnapshotQuery lags it by at most this many
+  /// batches plus the queue depth, and each publish costs one summary copy
+  /// amortized over the interval. A shard that goes *idle* with an
+  /// unpublished tail is published by the snapshot query itself (try-lock,
+  /// still non-blocking; throttled to kIdleNudgePeriod), so the tail
+  /// becomes visible within ~100ms and a query rather than waiting on a
+  /// batch that may never come. All snapshot publication (interval, Flush)
+  /// is armed by the first snapshot query, so pure-ingest pipelines never
+  /// pay for copies nobody reads; the blocking query path republishes on
+  /// its own, so Query/MergedSummary are exact regardless of the cadence
+  /// or arming.
+  size_t snapshot_interval_batches = 8;
   /// Seed of the x -> shard hash. All participants of one logical stream
   /// must agree on it (it defines the partition).
   uint64_t shard_seed = 0x5ca1ab1e0ddba11ULL;
 };
 
 /// \brief Runs S identically-configured summaries as shards of one logical
-/// stream, with a thread-per-shard ingest loop and query-time merging.
+/// stream, with a thread-per-shard ingest loop and query-time merging of
+/// epoch-stamped shard snapshots.
 ///
 /// `make_summary` must produce summaries that are mergeable with each other
 /// (same options and seed — family identity is value-based, so independent
 /// calls with the same seed are compatible). The driver calls it S times for
-/// the shards and once per merged query for the scratch summary.
-template <ShardableSummary Summary>
+/// the shards and once for the merge engine's empty prefix.
+template <SnapshotableSummary Summary>
 class ShardedDriver {
  public:
   ShardedDriver(const ShardedDriverOptions& options,
@@ -106,18 +163,33 @@ class ShardedDriver {
                                                 options_.queue_capacity));
     }
     for (auto& shard : shards_) {
-      shard->worker = std::thread([&shard] {
-        while (auto batch = shard->queue.Pop()) {
+      Shard* sp = shard.get();
+      shard->worker = std::thread([this, sp] {
+        size_t since_publish = 0;
+        while (auto batch = sp->queue.Pop()) {
           {
-            // Per-batch summary lock: merges taken while ingest is running
-            // observe each shard at a batch boundary (a consistent summary
-            // state) instead of racing mid-insert.
-            std::lock_guard<std::mutex> lock(shard->summary_mu);
-            shard->summary.InsertBatch(std::span<const Tuple>(*batch));
+            // Per-batch summary lock: snapshot publishes and shard
+            // serializations taken while ingest is running observe the
+            // shard at a batch boundary (a consistent summary state)
+            // instead of racing mid-insert.
+            std::lock_guard<std::mutex> lock(sp->summary_mu);
+            sp->summary.InsertBatch(std::span<const Tuple>(*batch));
+            ++sp->batches_ingested;
           }
-          shard->processed.fetch_add(batch->size(),
-                                     std::memory_order_relaxed);
-          shard->queue.AckDone();
+          sp->processed.fetch_add(batch->size(), std::memory_order_relaxed);
+          // Copy-on-publish only once someone has asked for snapshots
+          // (~20% of ingest throughput at the default interval; a stream
+          // that is never snapshot-queried shouldn't pay it). The counter
+          // keeps running while unarmed so the first armed batch
+          // publishes immediately.
+          if (++since_publish >= options_.snapshot_interval_batches &&
+              snapshots_armed_.load(std::memory_order_relaxed)) {
+            PublishShard(*sp);
+            since_publish = 0;
+          }
+          // Publish-before-Ack: once WaitIdle() returns, every worker-side
+          // publish owed for acknowledged batches has completed too.
+          sp->queue.AckDone();
         }
       });
     }
@@ -182,12 +254,30 @@ class ShardedDriver {
     default_writer_->InsertBatch(batch);
   }
 
-  /// \brief Pushes the driver-owned writer's partial batches and blocks
-  /// until every enqueued batch (from all writers) has been ingested.
+  /// \brief Pushes the driver-owned writer's partial batches, blocks until
+  /// every enqueued batch (from all writers) has been ingested, then — once
+  /// snapshot serving is armed — republishes every changed shard, so
+  /// snapshot queries answer over everything flushed. An unarmed driver
+  /// skips the publish copies (nobody reads them; pure-ingest pipelines
+  /// Flush too); the blocking query path publishes explicitly, so its
+  /// answers are exact either way.
   void Flush() {
     default_writer_->Flush();
     WaitIdle();
+    if (snapshots_armed_.load(std::memory_order_relaxed)) PublishSnapshots();
   }
+
+ private:
+  /// \brief The blocking query paths' drain: like Flush(), but always
+  /// publishes (exactly once) so answers are exact-as-of-call on unarmed
+  /// drivers too.
+  void FlushAndPublish() {
+    default_writer_->Flush();
+    WaitIdle();
+    PublishSnapshots();
+  }
+
+ public:
 
   /// \brief Blocks until all shard queues are drained and acknowledged.
   /// External Writers must Flush() themselves first — the driver cannot see
@@ -196,24 +286,154 @@ class ShardedDriver {
     for (auto& shard : shards_) shard->queue.WaitIdle();
   }
 
+  /// \brief Republishes the snapshot of every shard whose summary changed
+  /// since its last publish (no-op, and no epoch bump, for unchanged
+  /// shards). Blocks on in-flight ingest batches — the blocking path's
+  /// tool; SnapshotQuery never calls it.
+  void PublishSnapshots() {
+    for (auto& shard : shards_) PublishShard(*shard);
+  }
+
   /// \brief Flushes, then merges every shard into a fresh summary answering
   /// over the whole stream ingested so far. Shards are left untouched, so
   /// ingest can continue and the merge can be repeated; concurrent writers
   /// may keep pushing — the merge observes each shard at a batch boundary.
+  /// Repeating the call without intervening ingest performs zero shard
+  /// merges (the epoch-keyed cache is hit).
   Result<Summary> MergedSummary() {
-    Flush();
-    Summary merged = make_summary_();
-    // A never-written driver answers as a freshly built summary — the
-    // defined zero-stream state — rather than through S merges of empty
-    // shards into the scratch (equivalent today, but an edge path no query
-    // semantics should rest on). Checked after Flush, so "never written"
-    // really means no tuple has reached any shard.
-    if (tuples_processed() == 0) return merged;
-    for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->summary_mu);
-      CASTREAM_RETURN_NOT_OK(merged.MergeFrom(shard->summary));
+    FlushAndPublish();
+    CASTREAM_ASSIGN_OR_RETURN(std::shared_ptr<const Summary> merged,
+                              MergeSnapshots());
+    return CopyOf(*merged);
+  }
+
+  /// \brief Non-blocking whole-stream summary: merges the latest published
+  /// shard snapshots without quiescing the queues or touching the live
+  /// shard summaries. The result is shared and immutable; repeated calls
+  /// re-merge only from the first shard whose snapshot epoch advanced, and
+  /// return the cached merge (zero shard merges) when nothing changed. A
+  /// driver with no published snapshots answers as a fresh summary (the
+  /// defined zero-stream state).
+  Result<std::shared_ptr<const Summary>> SnapshotSummary() {
+    // Arm worker-side interval publication: from now on the ingest threads
+    // keep the snapshots fresh. The blocking path calls MergeSnapshots
+    // directly and does not arm: it republishes on every Flush, so
+    // interval copies would be waste.
+    const bool first_call =
+        !snapshots_armed_.exchange(true, std::memory_order_relaxed);
+    // Interval publication only runs when batches flow, so a shard whose
+    // ingest has gone quiet (or that ingested everything before the first
+    // snapshot query) would otherwise hide its unpublished tail forever.
+    // Publish such idle shards from here — via try-lock, so a busy or
+    // wedged ingest thread still cannot block this path.
+    TryPublishIdleShards(first_call);
+    return MergeSnapshots();
+  }
+
+ private:
+  /// \brief Publishes the unpublished tail of every *idle* shard: one
+  /// whose worker is not mid-batch (summary_mu try-locks) and that made no
+  /// ingest progress since the previous nudge (so no interval publish is
+  /// coming). Throttled to one pass per kIdleNudgePeriod: without the
+  /// throttle, polling faster than batches arrive would judge a trickling
+  /// shard "idle" between every batch and publish per batch, defeating the
+  /// interval amortization. `force` skips the throttle and treats every
+  /// reachable stale shard as idle — used on the arming call, where data
+  /// ingested before any snapshot query would otherwise stay invisible
+  /// until the next batch or Flush. Never blocks — shard locks are
+  /// try-locked (a held one means an active worker, whose own cadence
+  /// covers it) and the pass runs under its own nudge_mu_, not merge_mu_,
+  /// so concurrent snapshot queries merge right past an in-flight nudge's
+  /// copies.
+  void TryPublishIdleShards(bool force) {
+    std::unique_lock<std::mutex> nlock(nudge_mu_, std::defer_lock);
+    if (force) {
+      // The arming pass is one-shot (snapshots_armed_ flips once): if it
+      // were dropped because a concurrent non-force nudge holds the lock,
+      // pre-arming data could stay unpublished for a full throttle period.
+      // Waiting here is still queue-independent — the holder is another
+      // query thread doing bounded copy work, never ingest.
+      nlock.lock();
+    } else if (!nlock.try_lock()) {
+      return;  // a concurrent nudge is already at it
     }
-    return merged;
+    const auto now = std::chrono::steady_clock::now();
+    if (!force && now - last_nudge_ < kIdleNudgePeriod) return;
+    last_nudge_ = now;
+    if (last_seen_batches_.size() != shards_.size()) {
+      last_seen_batches_.assign(shards_.size(), 0);
+    }
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      std::unique_lock<std::mutex> lock(shard.summary_mu, std::try_to_lock);
+      if (!lock.owns_lock()) continue;  // busy worker: interval cadence
+      const uint64_t batches = shard.batches_ingested;
+      const uint64_t seen = last_seen_batches_[s];
+      last_seen_batches_[s] = batches;
+      if (batches == 0) continue;
+      if (!force && batches != seen) continue;  // still making progress
+      PublishTailLocked(shard, batches);
+    }
+  }
+
+  /// \brief The merge engine both query paths share: gather published
+  /// snapshots, reuse the epoch-keyed prefix cache, rebuild the changed
+  /// suffix.
+  Result<std::shared_ptr<const Summary>> MergeSnapshots() {
+    const uint32_t count = shard_count();
+    std::vector<std::shared_ptr<const Summary>> snaps(count);
+    std::vector<uint64_t> epochs(count);
+    for (uint32_t s = 0; s < count; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s]->snapshot_mu);
+      snaps[s] = shards_[s]->snapshot;
+      epochs[s] = shards_[s]->snapshot_epoch;
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    if (prefix_.empty()) {
+      // prefix_[k] = fresh summary merged with snapshots 0..k-1 in shard
+      // order; epoch 0 means "never published", and the all-ones sentinel
+      // marks every cached prefix stale.
+      prefix_.assign(count + 1, nullptr);
+      merged_epochs_.assign(count, ~uint64_t{0});
+      prefix_[0] = std::make_shared<const Summary>(make_summary_());
+    }
+    // Concurrent snapshot queries serialize here; one that gathered its
+    // epochs just before a publish may rebuild the cache from a snapshot
+    // one epoch older than a racing caller merged. That only thrashes the
+    // cache (the next query re-merges) — every combination of per-shard
+    // snapshots is a valid whole-stream prefix under the x-partition.
+    uint32_t first_stale = count;
+    for (uint32_t s = 0; s < count; ++s) {
+      if (merged_epochs_[s] != epochs[s]) {
+        first_stale = s;
+        break;
+      }
+    }
+    for (uint32_t s = first_stale; s < count; ++s) {
+      if (snaps[s] == nullptr) {
+        // Never-published shard: contributes nothing; alias the prefix.
+        prefix_[s + 1] = prefix_[s];
+      } else {
+        auto next = std::make_shared<Summary>(CopyOf(*prefix_[s]));
+        CASTREAM_RETURN_NOT_OK(next->MergeFrom(*snaps[s]));
+        shard_merges_.fetch_add(1, std::memory_order_relaxed);
+        prefix_[s + 1] = std::move(next);
+      }
+      merged_epochs_[s] = epochs[s];
+    }
+    return prefix_[count];
+  }
+
+ public:
+  /// \brief Drops the memoized prefix merges, forcing the next
+  /// SnapshotSummary/MergedSummary to rebuild from scratch. Exists so tests
+  /// can pin "incremental reuse answers == from-scratch answers"; never
+  /// needed for correctness.
+  void InvalidateSnapshotCache() {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    prefix_.clear();
+    merged_epochs_.clear();
   }
 
   /// \brief Serializes shard s's summary (the versioned wire format of
@@ -232,11 +452,24 @@ class ShardedDriver {
     return shards_[s]->summary.Serialize(out);
   }
 
-  /// \brief Convenience point query (summary types with a single-cutoff
-  /// Query; instantiated only if used).
+  /// \brief Blocking convenience point query: Flush, then query the merged
+  /// summary (summary types with a single-cutoff Query; instantiated only
+  /// if used).
   Result<double> Query(uint64_t c) {
-    CASTREAM_ASSIGN_OR_RETURN(Summary merged, MergedSummary());
-    return merged.Query(c);
+    FlushAndPublish();
+    CASTREAM_ASSIGN_OR_RETURN(std::shared_ptr<const Summary> merged,
+                              MergeSnapshots());
+    return merged->Query(c);
+  }
+
+  /// \brief Non-blocking point query over the published snapshots. Never
+  /// waits on the shard queues or ingest threads: backpressured writers and
+  /// a wedged ingest batch cannot stall it. The answer covers a recent
+  /// batch-boundary prefix of the stream (see SnapshotSummary).
+  Result<double> SnapshotQuery(uint64_t c) {
+    CASTREAM_ASSIGN_OR_RETURN(std::shared_ptr<const Summary> merged,
+                              SnapshotSummary());
+    return merged->Query(c);
   }
 
   /// \brief The shard an item identifier routes to (the partition function;
@@ -259,13 +492,44 @@ class ShardedDriver {
     return total;
   }
 
+  /// \brief Shard s's snapshot publication epoch: 0 until the first
+  /// publish, +1 per publish, strictly monotone. Equal epochs imply equal
+  /// snapshot contents.
+  uint64_t shard_epoch(uint32_t s) const {
+    std::lock_guard<std::mutex> lock(shards_[s]->snapshot_mu);
+    return shards_[s]->snapshot_epoch;
+  }
+
+  /// \brief All shard epochs (see shard_epoch), for staleness diagnostics.
+  std::vector<uint64_t> ShardEpochs() const {
+    std::vector<uint64_t> epochs(shards_.size());
+    for (uint32_t s = 0; s < shards_.size(); ++s) epochs[s] = shard_epoch(s);
+    return epochs;
+  }
+
+  /// \brief Cumulative count of shard MergeFrom calls performed by the
+  /// merge engine (both query paths). A repeated query with no intervening
+  /// ingest adds zero — the regression tests' observable.
+  uint64_t shard_merges_performed() const {
+    return shard_merges_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Shard {
-    Summary summary;
-    std::mutex summary_mu;  // held per batch by the worker, by merges
+    Summary summary;         // live; mutated only by the worker thread
+    std::mutex summary_mu;   // held per batch by the worker, by publishes
+    uint64_t batches_ingested = 0;  // guarded by summary_mu
     BoundedQueue<std::vector<Tuple>> queue;
     std::thread worker;
     std::atomic<uint64_t> processed{0};
+
+    // Published snapshot slot. Guarded by snapshot_mu, which is only ever
+    // held for pointer/counter reads and swaps — never across a copy or a
+    // merge — so snapshot readers cannot be blocked behind ingest.
+    mutable std::mutex snapshot_mu;
+    std::shared_ptr<const Summary> snapshot;  // null until first publish
+    uint64_t snapshot_epoch = 0;
+    uint64_t snapshot_batches = 0;  // batches_ingested at last publish
 
     Shard(Summary s, size_t queue_capacity)
         : summary(std::move(s)), queue(queue_capacity) {}
@@ -275,7 +539,47 @@ class ShardedDriver {
     if (o.shards == 0) o.shards = 1;
     if (o.batch_size == 0) o.batch_size = 1;
     if (o.queue_capacity == 0) o.queue_capacity = 1;
+    if (o.snapshot_interval_batches == 0) o.snapshot_interval_batches = 1;
     return o;
+  }
+
+  /// \brief Deep copy of a summary: the copy constructor where available,
+  /// otherwise the explicit Clone() (AnySummary). Both are exact — the copy
+  /// is structurally identical, so merges behave as if the original were
+  /// used.
+  static Summary CopyOf(const Summary& s) {
+    if constexpr (std::copy_constructible<Summary>) {
+      return Summary(s);
+    } else {
+      return s.Clone();
+    }
+  }
+
+  /// \brief Publishes a fresh snapshot of `shard` if (and only if) its
+  /// summary changed since the last publish. Called from the shard's own
+  /// worker every snapshot_interval batches and from PublishSnapshots on
+  /// the blocking path.
+  void PublishShard(Shard& shard) {
+    std::lock_guard<std::mutex> lock(shard.summary_mu);
+    if (shard.batches_ingested == 0) return;  // nothing to say
+    PublishTailLocked(shard, shard.batches_ingested);
+  }
+
+  /// \brief The one publish protocol (every publisher funnels through
+  /// here; `shard.summary_mu` must be held, which serializes publishes of
+  /// one shard): skip if a publish at >= batches already landed, else copy
+  /// the summary, swap it into the snapshot slot, bump the epoch — so
+  /// epochs bump exactly once per content change.
+  void PublishTailLocked(Shard& shard, uint64_t batches) {
+    {
+      std::lock_guard<std::mutex> slock(shard.snapshot_mu);
+      if (shard.snapshot_batches >= batches) return;  // already current
+    }
+    Summary copy = CopyOf(shard.summary);
+    std::lock_guard<std::mutex> slock(shard.snapshot_mu);
+    shard.snapshot = std::make_shared<const Summary>(std::move(copy));
+    ++shard.snapshot_epoch;
+    shard.snapshot_batches = batches;
   }
 
   /// \brief Moves a full buffer into shard s's queue (blocking on
@@ -291,6 +595,34 @@ class ShardedDriver {
   std::function<Summary()> make_summary_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<Writer> default_writer_;
+
+  // Merge engine state (guarded by merge_mu_): prefix_[k] is the fresh
+  // summary merged with snapshots 0..k-1 in shard order; merged_epochs_[s]
+  // is the epoch prefix_[s+1] was built from. prefix_[shard_count()] is the
+  // whole-stream merge handed to callers. Memory trade, deliberate: the
+  // cache pins up to S merged copies (plus the S published snapshots) on
+  // top of the live shards — roughly 3x one summary set — in exchange for
+  // suffix-only rebuilds and zero-merge repeat queries. A deployment that
+  // can't afford it can shrink via fewer/smaller shards or drop the cache
+  // between query bursts with InvalidateSnapshotCache.
+  /// Idle-shard nudge cadence: bounds the extra staleness of a shard whose
+  /// ingest went quiet, and bounds nudge publish work to ~10 passes/s no
+  /// matter how hot the query loop runs.
+  static constexpr std::chrono::milliseconds kIdleNudgePeriod{100};
+
+  std::mutex merge_mu_;
+  std::vector<std::shared_ptr<const Summary>> prefix_;
+  std::vector<uint64_t> merged_epochs_;
+
+  // Idle-nudge state (guarded by nudge_mu_, deliberately separate from
+  // merge_mu_ so a nudge pass doing summary copies never stalls merges).
+  std::mutex nudge_mu_;
+  std::vector<uint64_t> last_seen_batches_;  // per-shard, for idle detection
+  std::chrono::steady_clock::time_point last_nudge_{};
+  std::atomic<uint64_t> shard_merges_{0};
+  // Set (permanently) by the first SnapshotSummary/SnapshotQuery; gates the
+  // ingest threads' interval publication.
+  std::atomic<bool> snapshots_armed_{false};
 };
 
 }  // namespace castream

@@ -1,0 +1,213 @@
+// The merge engine's incremental reuse (label: concurrency).
+//
+// ShardedDriver memoizes prefix merges keyed by shard snapshot epochs and
+// rebuilds only from the first shard whose epoch advanced. These tests pin
+// the two properties that make that safe to rely on:
+//   * Answers are identical whether the running merged summary is reused or
+//     rebuilt from scratch (InvalidateSnapshotCache) — catching stale-epoch
+//     and double-merge bugs — including the S=1 and empty-driver edges.
+//   * The work is really skipped: a repeated blocking Query (or
+//     MergedSummary) with no intervening ingest performs zero shard merges,
+//     and ingest confined to the last shard re-merges only that suffix.
+//     Observable via the driver's shard-merge counter.
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/correlated_fk.h"
+#include "src/driver/sharded_driver.h"
+#include "src/stream/types.h"
+#include "tests/test_util.h"
+
+namespace castream {
+namespace {
+
+using test::TestRng;
+
+CorrelatedSketchOptions F2Options() {
+  CorrelatedSketchOptions opts;
+  opts.eps = 0.25;
+  opts.delta = 0.1;
+  opts.y_max = (uint64_t{1} << 12) - 1;
+  opts.f_max_hint = 1e9;
+  opts.conditions = AggregateConditions::ForFk(2.0);
+  return opts;
+}
+
+std::vector<Tuple> MakeStream(size_t n, uint64_t x_domain, uint64_t y_max,
+                              uint64_t seed) {
+  Xoshiro256 rng = TestRng(seed);
+  std::vector<Tuple> stream;
+  stream.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    stream.push_back(
+        Tuple{rng.NextBounded(x_domain), rng.NextBounded(y_max + 1)});
+  }
+  return stream;
+}
+
+std::vector<uint64_t> CutoffLadder(uint64_t y_max) {
+  std::vector<uint64_t> cutoffs{0, 1, y_max / 2, y_max};
+  for (uint64_t c = 2; c < y_max; c *= 2) cutoffs.push_back(c - 1);
+  return cutoffs;
+}
+
+template <typename Driver>
+std::vector<Result<double>> LadderAnswers(Driver& driver, uint64_t y_max) {
+  std::vector<Result<double>> answers;
+  for (uint64_t c : CutoffLadder(y_max)) {
+    answers.push_back(driver.SnapshotQuery(c));
+  }
+  return answers;
+}
+
+void ExpectIdenticalAnswers(const std::vector<Result<double>>& a,
+                            const std::vector<Result<double>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].ok(), b[i].ok()) << "cutoff index " << i;
+    if (a[i].ok()) {
+      ASSERT_EQ(a[i].value(), b[i].value()) << "cutoff index " << i;
+    }
+  }
+}
+
+TEST(SnapshotIncrementalMergeTest, ReusedEqualsRebuiltFromScratch) {
+  const auto opts = F2Options();
+  AmsF2SketchFactory factory(AmsDimsFor(opts.eps, 1e-4, 4), /*seed=*/61);
+  ShardedDriverOptions dopts;
+  dopts.shards = 4;
+  dopts.batch_size = 128;
+  dopts.snapshot_interval_batches = 2;
+  ShardedDriver<CorrelatedF2Sketch> driver(
+      dopts, [&] { return CorrelatedF2Sketch(opts, factory); });
+
+  const auto stream = MakeStream(24000, 800, opts.y_max, 5);
+  const size_t chunk = stream.size() / 3;
+  for (int round = 0; round < 3; ++round) {
+    driver.InsertBatch(std::span<const Tuple>(
+        stream.data() + static_cast<size_t>(round) * chunk, chunk));
+    driver.Flush();
+    // Reuse path first (it may hit the cache from the previous round's
+    // queries), then force a from-scratch rebuild over the same snapshots.
+    const auto reused = LadderAnswers(driver, opts.y_max);
+    driver.InvalidateSnapshotCache();
+    const auto rebuilt = LadderAnswers(driver, opts.y_max);
+    ExpectIdenticalAnswers(reused, rebuilt);
+  }
+}
+
+TEST(SnapshotIncrementalMergeTest, BackToBackBlockingQueryPerformsZeroMerges) {
+  const auto opts = F2Options();
+  AmsF2SketchFactory factory(AmsDimsFor(opts.eps, 1e-4, 4), /*seed=*/62);
+  ShardedDriverOptions dopts;
+  dopts.shards = 4;
+  dopts.batch_size = 128;
+  ShardedDriver<CorrelatedF2Sketch> driver(
+      dopts, [&] { return CorrelatedF2Sketch(opts, factory); });
+  driver.InsertBatch(MakeStream(12000, 600, opts.y_max, 6));
+
+  const auto first = driver.Query(opts.y_max / 2);
+  ASSERT_TRUE(first.ok());
+  const uint64_t merges_after_first = driver.shard_merges_performed();
+  EXPECT_GT(merges_after_first, 0u);
+
+  // No ingest since the last query: the epoch-keyed cache must answer and
+  // the merge counter must not move — for Query and for MergedSummary.
+  const auto second = driver.Query(opts.y_max / 2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), first.value());
+  EXPECT_EQ(driver.shard_merges_performed(), merges_after_first);
+
+  auto merged = driver.MergedSummary();
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(driver.shard_merges_performed(), merges_after_first);
+
+  // New data re-merges; going quiescent again re-caches.
+  driver.InsertBatch(MakeStream(4000, 600, opts.y_max, 7));
+  ASSERT_TRUE(driver.Query(opts.y_max / 2).ok());
+  const uint64_t merges_after_ingest = driver.shard_merges_performed();
+  EXPECT_GT(merges_after_ingest, merges_after_first);
+  ASSERT_TRUE(driver.Query(opts.y_max / 2).ok());
+  EXPECT_EQ(driver.shard_merges_performed(), merges_after_ingest);
+}
+
+TEST(SnapshotIncrementalMergeTest, SuffixConfinedIngestRemergesOnlySuffix) {
+  const auto opts = F2Options();
+  AmsF2SketchFactory factory(AmsDimsFor(opts.eps, 1e-4, 4), /*seed=*/63);
+  ShardedDriverOptions dopts;
+  dopts.shards = 4;
+  dopts.batch_size = 64;
+  ShardedDriver<CorrelatedF2Sketch> driver(
+      dopts, [&] { return CorrelatedF2Sketch(opts, factory); });
+  driver.InsertBatch(MakeStream(8000, 500, opts.y_max, 8));
+  ASSERT_TRUE(driver.Query(opts.y_max).ok());
+  const uint64_t merges_full = driver.shard_merges_performed();
+
+  // Ingest confined to the last shard: the rebuild must start there, so
+  // exactly one shard merge is added.
+  uint64_t x_last = 0;
+  while (driver.ShardOf(x_last) != driver.shard_count() - 1) ++x_last;
+  std::vector<Tuple> last_only(500, Tuple{x_last, opts.y_max / 2});
+  driver.InsertBatch(last_only);
+  ASSERT_TRUE(driver.Query(opts.y_max).ok());
+  EXPECT_EQ(driver.shard_merges_performed(), merges_full + 1);
+
+  // Ingest confined to the first shard re-merges every published shard.
+  uint64_t x_first = 0;
+  while (driver.ShardOf(x_first) != 0) ++x_first;
+  std::vector<Tuple> first_only(500, Tuple{x_first, opts.y_max / 2});
+  driver.InsertBatch(first_only);
+  ASSERT_TRUE(driver.Query(opts.y_max).ok());
+  EXPECT_EQ(driver.shard_merges_performed(),
+            merges_full + 1 + driver.shard_count());
+}
+
+TEST(SnapshotIncrementalMergeTest, SingleShardReuseEqualsRebuild) {
+  const auto opts = F2Options();
+  AmsF2SketchFactory factory(AmsDimsFor(opts.eps, 1e-4, 4), /*seed=*/64);
+  ShardedDriverOptions dopts;
+  dopts.shards = 1;
+  dopts.batch_size = 64;
+  ShardedDriver<CorrelatedF2Sketch> driver(
+      dopts, [&] { return CorrelatedF2Sketch(opts, factory); });
+  driver.InsertBatch(MakeStream(6000, 400, opts.y_max, 9));
+  driver.Flush();
+
+  const auto reused = LadderAnswers(driver, opts.y_max);
+  const uint64_t merges_before = driver.shard_merges_performed();
+  ExpectIdenticalAnswers(reused, LadderAnswers(driver, opts.y_max));
+  EXPECT_EQ(driver.shard_merges_performed(), merges_before);  // cache hit
+  driver.InvalidateSnapshotCache();
+  ExpectIdenticalAnswers(reused, LadderAnswers(driver, opts.y_max));
+  EXPECT_EQ(driver.shard_merges_performed(), merges_before + 1);  // rebuilt
+}
+
+TEST(SnapshotIncrementalMergeTest, EmptyDriverAnswersAsFreshSummary) {
+  const auto opts = F2Options();
+  AmsF2SketchFactory factory(AmsDimsFor(opts.eps, 1e-4, 4), /*seed=*/65);
+  auto make = [&] { return CorrelatedF2Sketch(opts, factory); };
+  ShardedDriverOptions dopts;
+  dopts.shards = 3;
+  ShardedDriver<CorrelatedF2Sketch> driver(dopts, make);
+
+  const CorrelatedF2Sketch fresh = make();
+  const auto reused = LadderAnswers(driver, opts.y_max);
+  EXPECT_EQ(driver.shard_merges_performed(), 0u);  // nothing published
+  driver.InvalidateSnapshotCache();
+  const auto rebuilt = LadderAnswers(driver, opts.y_max);
+  EXPECT_EQ(driver.shard_merges_performed(), 0u);
+  ExpectIdenticalAnswers(reused, rebuilt);
+  for (size_t i = 0; i < CutoffLadder(opts.y_max).size(); ++i) {
+    const auto expected = fresh.Query(CutoffLadder(opts.y_max)[i]);
+    ASSERT_EQ(expected.ok(), reused[i].ok());
+    if (expected.ok()) {
+      ASSERT_EQ(expected.value(), reused[i].value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace castream
