@@ -41,4 +41,25 @@ for kind in f2 f0 rarity hh; do
   "$BIN" stats --kind "$kind" --shards "$SHARDS" --count 30000
 done
 
+# Failure-path assertion: a truncated blob must make the reducer exit
+# nonzero with a decode/short-read message — silent truncation (merging a
+# partial shard and printing plausible numbers) is the bug this guards
+# against.
+TRUNC="$DIR/f2.truncated.$SUFFIX"
+head -c 40 "$DIR/f2.0.$SUFFIX" > "$TRUNC"
+set +e
+TRUNC_OUT=$("$REDUCER" reduce --kind f2 "$TRUNC" 2>&1)
+TRUNC_RC=$?
+set -e
+if [ "$TRUNC_RC" -eq 0 ]; then
+  echo "FAIL: reducer accepted a truncated blob ($TRUNC)" >&2
+  exit 1
+fi
+if ! grep -qiE "truncat|short read|decode" <<<"$TRUNC_OUT"; then
+  echo "FAIL: reducer rejected the truncated blob without naming the cause:" >&2
+  echo "$TRUNC_OUT" >&2
+  exit 1
+fi
+echo "shardctl demo: truncated-blob rejection verified (exit $TRUNC_RC)"
+
 echo "shardctl demo: all kinds verified ($SHARDS shards, dir $DIR)"

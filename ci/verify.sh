@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build everything (library, test binaries,
 # benches, examples), run the full CTest suite, then re-run the statistical
-# (eps, delta) tests as a focused job.
+# (eps, delta) tests as a focused job. The full suite includes the `smoke`
+# tier: quickstart, the cross-process shardctl demo (file blobs), and the
+# cross-process served demo (2 castream_served workers publishing snapshots
+# over TCP to an always-on reducer, verified bit-for-bit against the
+# in-process oracle through kills and restarts).
 #
 # Parameterized so the CI matrix (compilers x build types + sanitizers) and
 # local sanitizer builds never clobber each other's build trees:

@@ -1,0 +1,417 @@
+// castream_served — the continuous aggregation service, end to end.
+//
+// Where castream_shardctl ships blobs through *files* in one batch round,
+// this binary keeps the pipeline running: worker processes ingest their
+// partition of the stream and publish epoch-tagged shard snapshots over
+// TCP on a cadence, an always-on reducer process folds them into its
+// snapshot table, and query clients get merged answers at any moment —
+// each answer carrying the epoch vector it was computed from (the
+// staleness bound).
+//
+//   castream_served reduce --kind f2 --port-file /tmp/port &
+//   castream_served worker --kind f2 --workers 2 --worker 0 --port $PORT
+//   castream_served worker --kind f2 --workers 2 --worker 1 --port $PORT
+//   castream_served query  --port $PORT            # at any time
+//   castream_served oracle --kind f2 --workers 2   # ground truth
+//
+// The demo stream is deterministic from --stream-seed, and the reducer
+// merges its (worker, shard) table in key order, so `oracle` — the same
+// split, serial ingest, and in-order merge done in one process with no
+// wire — must print the *identical* cutoff ladder (bit-for-bit, %.17g)
+// once every worker's final snapshots have landed. ci/served_demo.sh
+// drives exactly that, plus the failure drills: killed and restarted
+// workers (session tags make re-publishes replace the dead incarnation),
+// a killed and restarted reducer (publishers reconnect with backoff and
+// re-offer everything; idempotence makes the overlap free), and garbage
+// bytes on the socket (the checked decoder rejects; serving continues).
+//
+// The worker split is by x-hash under kWorkerSplitSeed — deliberately a
+// different seed than the ShardedDriver's in-process shard split, so the
+// two partition layers are decorrelated (a worker's shards each see a
+// uniform slice of the worker's x-values, not a degenerate subset).
+#include <csignal>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/any_summary.h"
+#include "src/driver/sharded_driver.h"
+#include "src/hash/hash_family.h"
+#include "src/service/client.h"
+#include "src/service/publisher.h"
+#include "src/service/reducer.h"
+#include "src/stream/generators.h"
+#include "src/stream/types.h"
+
+namespace {
+
+using namespace castream;
+
+// Worker-level split of the logical stream. Must differ from
+// ShardedDriverOptions::shard_seed (the within-worker split) so the two
+// hash partitions are independent.
+constexpr uint64_t kWorkerSplitSeed = 0x9e3779b97f4a7c15ULL;
+
+struct Args {
+  std::string mode;
+  std::string kind = "f2";
+  uint32_t workers = 2;
+  uint32_t worker = 0;
+  uint32_t driver_shards = 2;
+  uint64_t summary_seed = 42;
+  uint64_t stream_seed = 7;
+  uint64_t count = 60000;
+  uint64_t x_domain = 2000;
+  uint64_t y_max = 65535;
+  uint64_t publish_every = 5000;  // tuples between publish ticks
+  uint64_t throttle_us = 0;       // optional ingest slowdown per tick
+  uint16_t port = 0;
+  std::string port_file;
+  bool log = false;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  castream_served reduce --kind K [--port P] [--port-file F] [--log]\n"
+      "                         [--seed S] [config flags]\n"
+      "  castream_served worker --kind K --workers N --worker I --port P\n"
+      "                         [--driver-shards S] [--publish-every T]\n"
+      "                         [--throttle-us U] [stream flags]\n"
+      "  castream_served query  --port P [--y-max Y]\n"
+      "  castream_served oracle --kind K --workers N [--driver-shards S]\n"
+      "                         [stream flags]\n"
+      "kinds: f2 | f0 | rarity | hh\n"
+      "All processes of one run must agree on --kind, --seed, and the\n"
+      "stream flags; `oracle` then prints the exact ladder `query` must\n"
+      "show once the workers' final snapshots have landed.\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->mode = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](uint64_t* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::strtoull(argv[++i], nullptr, 10);
+      return true;
+    };
+    uint64_t v = 0;
+    if (flag == "--log") {
+      args->log = true;
+    } else if (flag == "--kind" && i + 1 < argc) {
+      args->kind = argv[++i];
+    } else if (flag == "--port-file" && i + 1 < argc) {
+      args->port_file = argv[++i];
+    } else if (flag == "--port") {
+      if (!next(&v) || v > 65535) return false;
+      args->port = static_cast<uint16_t>(v);
+    } else if (flag == "--workers") {
+      if (!next(&v) || v == 0) return false;
+      args->workers = static_cast<uint32_t>(v);
+    } else if (flag == "--worker") {
+      if (!next(&v)) return false;
+      args->worker = static_cast<uint32_t>(v);
+    } else if (flag == "--driver-shards") {
+      if (!next(&v) || v == 0) return false;
+      args->driver_shards = static_cast<uint32_t>(v);
+    } else if (flag == "--seed") {
+      if (!next(&args->summary_seed)) return false;
+    } else if (flag == "--stream-seed") {
+      if (!next(&args->stream_seed)) return false;
+    } else if (flag == "--count") {
+      if (!next(&args->count)) return false;
+    } else if (flag == "--x-domain") {
+      if (!next(&args->x_domain)) return false;
+    } else if (flag == "--y-max") {
+      if (!next(&args->y_max)) return false;
+    } else if (flag == "--publish-every") {
+      if (!next(&args->publish_every) || args->publish_every == 0)
+        return false;
+    } else if (flag == "--throttle-us") {
+      if (!next(&args->throttle_us)) return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Identical to castream_shardctl's configuration: one family of runs.
+SummaryOptions OptionsFor(const Args& args) {
+  SummaryOptions opts;
+  opts.eps = 0.25;
+  opts.delta = 0.1;
+  opts.y_max = args.y_max;
+  opts.f_max_hint = 1e9;
+  opts.x_domain = args.x_domain;
+  opts.phi_eps = 0.05;
+  return opts;
+}
+
+uint32_t WorkerOf(uint64_t x, uint32_t workers) {
+  return static_cast<uint32_t>(MixHash64(x, kWorkerSplitSeed) % workers);
+}
+
+std::vector<uint64_t> CutoffLadder(uint64_t y_max) {
+  std::vector<uint64_t> cutoffs{0, 1};
+  for (uint64_t c = 2; c < y_max; c *= 4) cutoffs.push_back(c - 1);
+  cutoffs.push_back(y_max / 2);
+  cutoffs.push_back(y_max);
+  return cutoffs;
+}
+
+// The ladder line format shared by `query` and `oracle`: %.17g
+// round-trips doubles exactly, so a textual diff of the two outputs IS
+// the bit-for-bit check.
+void PrintLadderLine(uint64_t cutoff, const Result<double>& q) {
+  if (q.ok()) {
+    std::printf("cutoff %10" PRIu64 "  estimate %.17g\n", cutoff, q.value());
+  } else {
+    std::printf("cutoff %10" PRIu64 "  %s\n", cutoff,
+                q.status().ToString().c_str());
+  }
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+int RunReduce(const Args& args) {
+  service::ReducerOptions ropts;
+  ropts.kind = args.kind;
+  ropts.summary = OptionsFor(args);
+  ropts.summary_seed = args.summary_seed;
+  ropts.port = args.port;
+  ropts.log = args.log;
+  auto started = service::SnapshotReducer::Start(ropts);
+  if (!started.ok()) {
+    std::fprintf(stderr, "reduce: %s\n", started.status().ToString().c_str());
+    return 1;
+  }
+  auto reducer = std::move(started).value();
+  std::printf("reducer serving kind %s on 127.0.0.1:%u\n", args.kind.c_str(),
+              reducer->port());
+  std::fflush(stdout);
+  if (!args.port_file.empty()) {
+    // Write-then-rename so a reader polling for the file never sees a
+    // partially-written port number.
+    const std::string tmp = args.port_file + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      out << reducer->port() << "\n";
+      if (!out.good()) {
+        std::fprintf(stderr, "reduce: cannot write %s\n", tmp.c_str());
+        return 1;
+      }
+    }
+    if (std::rename(tmp.c_str(), args.port_file.c_str()) != 0) {
+      std::fprintf(stderr, "reduce: cannot move %s into place\n", tmp.c_str());
+      return 1;
+    }
+  }
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  reducer->Shutdown();  // graceful: drains in-flight frames, then joins
+  std::printf("reducer drained: accepted %" PRIu64 ", duplicate %" PRIu64
+              ", rejected %" PRIu64 ", bad frames %" PRIu64 ", queries %"
+              PRIu64 "\n",
+              reducer->publishes_accepted(), reducer->publishes_duplicate(),
+              reducer->publishes_rejected(), reducer->frames_bad(),
+              reducer->queries_served());
+  return 0;
+}
+
+int RunWorker(const Args& args) {
+  if (args.worker >= args.workers || args.port == 0) {
+    Usage();
+    return 2;
+  }
+  if (auto probe =
+          MakeSummary(args.kind, OptionsFor(args), args.summary_seed);
+      !probe.ok()) {
+    std::fprintf(stderr, "worker: %s\n", probe.status().ToString().c_str());
+    return 1;
+  }
+  ShardedDriverOptions dopts;
+  dopts.shards = args.driver_shards;
+  dopts.batch_size = 512;
+  ShardedDriver<AnySummary> driver(dopts, [&args] {
+    auto summary = MakeSummary(args.kind, OptionsFor(args), args.summary_seed);
+    return std::move(summary).value();
+  });
+
+  service::PublisherOptions popts;
+  popts.port = args.port;
+  popts.worker_id = args.worker;
+  // Mid-stream publish ticks should fail fast when the reducer is down
+  // (ingest keeps going; the next tick retries); the backoff curve below
+  // caps one tick's stall at ~3 seconds.
+  popts.connect_attempts = 6;
+  service::ShardPublisher publisher(popts);
+
+  UniformGenerator gen(args.x_domain, args.y_max, args.stream_seed);
+  uint64_t taken = 0;
+  uint64_t since_publish = 0;
+  uint64_t published_ticks = 0;
+  uint64_t failed_ticks = 0;
+  for (uint64_t i = 0; i < args.count; ++i) {
+    const Tuple t = gen.Next();
+    if (WorkerOf(t.x, args.workers) != args.worker) continue;
+    driver.Insert(t);
+    ++taken;
+    if (++since_publish >= args.publish_every) {
+      since_publish = 0;
+      driver.Flush();
+      driver.PublishSnapshots();
+      Status st = service::PublishFreshSnapshots(publisher, driver,
+                                                 /*rounds=*/2);
+      if (st.ok()) {
+        ++published_ticks;
+      } else if (st.code() == Status::Code::kUnavailable) {
+        // Reducer down or restarting: keep ingesting, retry next tick.
+        ++failed_ticks;
+        std::fprintf(stderr, "worker %u: publish tick deferred: %s\n",
+                     args.worker, st.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "worker %u: %s\n", args.worker,
+                     st.ToString().c_str());
+        return 1;
+      }
+      if (args.throttle_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(args.throttle_us));
+      }
+    }
+  }
+
+  // The final publish is the correctness edge: it must land completely on
+  // one live reducer incarnation, surviving a reducer restart if one is in
+  // progress — generous rounds, each with full backoff.
+  driver.Flush();
+  driver.PublishSnapshots();
+  if (Status st = service::PublishFreshSnapshots(publisher, driver,
+                                                 /*rounds=*/16);
+      !st.ok()) {
+    std::fprintf(stderr, "worker %u: final publish failed: %s\n", args.worker,
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("worker %u/%u: ingested %" PRIu64 " tuples, %" PRIu64
+              " publish ticks (%" PRIu64 " deferred), session %" PRIu64
+              ", final epochs complete\n",
+              args.worker, args.workers, taken, published_ticks, failed_ticks,
+              publisher.session());
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  if (args.port == 0) {
+    Usage();
+    return 2;
+  }
+  for (uint64_t c : CutoffLadder(args.y_max)) {
+    auto reply = service::QueryServed("127.0.0.1", args.port, c);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "query: transport: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    const service::ServedAnswer& answer = reply.value();
+    if (answer.status.ok()) {
+      PrintLadderLine(c, Result<double>(answer.estimate));
+    } else {
+      PrintLadderLine(c, Result<double>(answer.status));
+    }
+    // The staleness bound, kept off stdout so the oracle diff sees only
+    // the ladder.
+    std::fprintf(stderr, "epochs[");
+    for (const service::EpochEntry& e : answer.epochs) {
+      std::fprintf(stderr, " %u/%u@%" PRIu64, e.worker, e.shard, e.epoch);
+    }
+    std::fprintf(stderr, " ]\n");
+  }
+  return 0;
+}
+
+// Ground truth: the same (worker, shard) split, serial ingest in arrival
+// order, and merge in (worker, shard) key order — everything the fleet
+// does, in one process, with no wire. InsertBatch equals serial inserts
+// exactly and MergeFrom is deterministic, so any textual deviation from
+// `query` (after final publishes) is a service bug.
+int RunOracle(const Args& args) {
+  const size_t slots = size_t{args.workers} * args.driver_shards;
+  const uint64_t driver_shard_seed = ShardedDriverOptions{}.shard_seed;
+  std::vector<AnySummary> parts;
+  parts.reserve(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    auto made = MakeSummary(args.kind, OptionsFor(args), args.summary_seed);
+    if (!made.ok()) {
+      std::fprintf(stderr, "oracle: %s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    parts.push_back(std::move(made).value());
+  }
+  std::vector<std::vector<Tuple>> buffers(slots);
+  for (auto& buf : buffers) buf.reserve(1024);
+  UniformGenerator gen(args.x_domain, args.y_max, args.stream_seed);
+  for (uint64_t i = 0; i < args.count; ++i) {
+    const Tuple t = gen.Next();
+    const uint32_t w = WorkerOf(t.x, args.workers);
+    const uint32_t s = static_cast<uint32_t>(
+        MixHash64(t.x, driver_shard_seed) % args.driver_shards);
+    auto& buf = buffers[size_t{w} * args.driver_shards + s];
+    buf.push_back(t);
+    if (buf.size() == buf.capacity()) {
+      parts[size_t{w} * args.driver_shards + s].InsertBatch(buf);
+      buf.clear();
+    }
+  }
+  for (size_t i = 0; i < slots; ++i) parts[i].InsertBatch(buffers[i]);
+
+  auto merged = MakeSummary(args.kind, OptionsFor(args), args.summary_seed);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "oracle: %s\n", merged.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < slots; ++i) {
+    if (Status st = merged.value().MergeFrom(parts[i]); !st.ok()) {
+      std::fprintf(stderr, "oracle: merging slot %zu: %s\n", i,
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  for (uint64_t c : CutoffLadder(args.y_max)) {
+    PrintLadderLine(c, merged.value().Query(c));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  if (args.mode == "reduce") return RunReduce(args);
+  if (args.mode == "worker") return RunWorker(args);
+  if (args.mode == "query") return RunQuery(args);
+  if (args.mode == "oracle") return RunOracle(args);
+  Usage();
+  return 2;
+}

@@ -36,7 +36,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -233,10 +235,37 @@ int RunWorker(const Args& args) {
     std::fprintf(stderr, "worker: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::ofstream out(args.out, std::ios::binary);
+  // Write, flush, close, and re-measure: a short write (disk full, quota)
+  // that slips through as a partial blob would surface later as a confusing
+  // decode error at the reducer — or worse, not at all if the reducer is
+  // lenient. Fail here, loudly, with a nonzero exit.
+  std::ofstream out(args.out, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "worker: cannot open %s for writing\n",
+                 args.out.c_str());
+    return 1;
+  }
   out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  out.flush();
   if (!out.good()) {
-    std::fprintf(stderr, "worker: cannot write %s\n", args.out.c_str());
+    std::fprintf(stderr, "worker: short write to %s (%zu bytes expected)\n",
+                 args.out.c_str(), blob.size());
+    return 1;
+  }
+  out.close();
+  if (out.fail()) {
+    std::fprintf(stderr, "worker: closing %s failed; blob may be truncated\n",
+                 args.out.c_str());
+    return 1;
+  }
+  std::error_code ec;
+  const auto on_disk = std::filesystem::file_size(args.out, ec);
+  if (ec || on_disk != blob.size()) {
+    std::fprintf(stderr,
+                 "worker: %s holds %llu bytes, expected %zu — short write\n",
+                 args.out.c_str(),
+                 static_cast<unsigned long long>(ec ? 0 : on_disk),
+                 blob.size());
     return 1;
   }
   std::printf("shard %u/%u: wrote %zu-byte %s blob to %s\n", args.shard,
@@ -255,14 +284,34 @@ int RunReduce(const Args& args) {
     return 1;
   }
   for (const std::string& path : args.inputs) {
-    std::ifstream in(path, std::ios::binary);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    if (!in.good() && !in.eof()) {
-      std::fprintf(stderr, "reduce: cannot read %s\n", path.c_str());
+    // Size-verified read: stat the file, read exactly that many bytes, and
+    // require the stream to deliver all of them. rdbuf()-style slurping can
+    // stop early on a transient error without tripping failbit in a way
+    // that is distinguishable here, which risks merging a silently
+    // truncated shard. (Deserialize would catch it too via the envelope
+    // length, but the I/O layer should not rely on the codec for that.)
+    std::error_code ec;
+    const auto expect = std::filesystem::file_size(path, ec);
+    if (ec) {
+      std::fprintf(stderr, "reduce: cannot stat %s: %s\n", path.c_str(),
+                   ec.message().c_str());
       return 1;
     }
-    const std::string blob = buf.str();
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "reduce: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::string blob(static_cast<size_t>(expect), '\0');
+    in.read(blob.data(), static_cast<std::streamsize>(blob.size()));
+    const auto got = in.gcount();
+    if (got < 0 || static_cast<uintmax_t>(got) != expect) {
+      std::fprintf(stderr,
+                   "reduce: short read on %s: got %lld of %llu bytes\n",
+                   path.c_str(), static_cast<long long>(got),
+                   static_cast<unsigned long long>(expect));
+      return 1;
+    }
     auto shard = AnySummary::Deserialize(io::BytesOf(blob));
     if (!shard.ok()) {
       std::fprintf(stderr, "reduce: %s: %s\n", path.c_str(),

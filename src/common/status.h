@@ -38,6 +38,11 @@ class [[nodiscard]] Status {
     kInternal = 4,
     /// Functionality intentionally not provided in this configuration.
     kNotSupported = 5,
+    /// A transient failure of an external resource (socket reset, peer
+    /// gone, connect refused). Retrying after a backoff may succeed —
+    /// the net/service layers key reconnect loops on exactly this code,
+    /// so it must never be used for deterministic failures.
+    kUnavailable = 6,
   };
 
   Status() noexcept : code_(Code::kOk) {}
@@ -60,6 +65,9 @@ class [[nodiscard]] Status {
   }
   static Status NotSupported(std::string_view msg) {
     return Status(Code::kNotSupported, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
   }
 
   bool ok() const { return code_ == Code::kOk; }

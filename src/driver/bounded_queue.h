@@ -15,6 +15,8 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -25,8 +27,18 @@ namespace castream {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+  /// \brief A queue that can never hold an item is a configuration bug, not
+  /// a degenerate size: Push would block forever with no consumer able to
+  /// drain it. Fail loudly at construction instead of silently clamping —
+  /// a clamp would hide the misconfiguration until a production deadlock.
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0) {
+      std::fprintf(stderr,
+                   "BoundedQueue: capacity must be >= 1 (got 0); a "
+                   "zero-capacity queue deadlocks every producer\n");
+      std::abort();
+    }
+  }
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;

@@ -1,0 +1,132 @@
+// Epoch-keyed prefix-merge cache, shared by the in-process ShardedDriver
+// and the cross-process reducer (src/service/reducer.h).
+//
+// Both serve the same shape of query: "merge these S immutable snapshots,
+// in this fixed order, into one whole-stream summary" — where between two
+// queries only a few snapshots change. The cache memoizes
+// prefix[k] = empty summary merged with snapshots 0..k-1 (linear order),
+// keyed by each slot's publication epoch, and rebuilds from the *first*
+// slot whose epoch moved: a repeated query over unchanged snapshots costs
+// zero merges, and a change in only the high slots re-merges only that
+// suffix. Rebuilding always replays the same linear order with plain deep
+// copies, so answers stay bit-for-bit identical to merging the snapshots
+// serially — the invariant sharded_equivalence_test and
+// snapshot_incremental_merge_test pin for the driver, inherited verbatim
+// by the reducer (its oracle is the same serial merge).
+//
+// Memory trade (deliberate, same as before the extraction): up to S cached
+// prefix copies on top of the S snapshots. Callers that cannot afford it
+// call Invalidate() between query bursts.
+#ifndef CASTREAM_DRIVER_MERGE_CACHE_H_
+#define CASTREAM_DRIVER_MERGE_CACHE_H_
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace castream {
+
+/// \brief Deep copy of a summary: the copy constructor where available,
+/// otherwise the explicit Clone() (AnySummary's move-only spelling).
+template <typename Summary>
+Summary SummaryDeepCopy(const Summary& s) {
+  if constexpr (std::copy_constructible<Summary>) {
+    return Summary(s);
+  } else {
+    return s.Clone();
+  }
+}
+
+template <typename Summary>
+class PrefixMergeCache {
+ public:
+  /// \brief `make_empty` produces the zero-stream summary every merge chain
+  /// starts from; it must be mergeable with every snapshot handed to
+  /// Merge (same options and hash-family seed).
+  explicit PrefixMergeCache(std::function<Summary()> make_empty)
+      : make_empty_(std::move(make_empty)) {}
+
+  PrefixMergeCache(const PrefixMergeCache&) = delete;
+  PrefixMergeCache& operator=(const PrefixMergeCache&) = delete;
+
+  /// \brief Merges snapshots 0..n-1 in order. snaps[i] == nullptr means
+  /// "slot never published" and contributes nothing (the prefix is
+  /// aliased). `epochs[i]` is slot i's publication epoch: equal epochs
+  /// must imply equal snapshot contents, which is what makes the memo
+  /// sound. A changed slot count (the reducer's table grows as workers
+  /// register) drops the whole memo and rebuilds.
+  Result<std::shared_ptr<const Summary>> Merge(
+      const std::vector<std::shared_ptr<const Summary>>& snaps,
+      const std::vector<uint64_t>& epochs) {
+    const size_t count = snaps.size();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (prefix_.size() != count + 1) {
+      // First use, post-Invalidate, or the slot set changed size: every
+      // cached prefix is meaningless. The all-ones epoch sentinel can
+      // never equal a real epoch, so every slot reads as stale.
+      prefix_.assign(count + 1, nullptr);
+      merged_epochs_.assign(count, ~uint64_t{0});
+      prefix_[0] = std::make_shared<const Summary>(make_empty_());
+    }
+    // Concurrent callers serialize here; one that gathered its epochs just
+    // before a publish may rebuild the cache from a snapshot one epoch
+    // older than a racing caller merged. That only thrashes the cache (the
+    // next call re-merges) — every consistent snapshot vector is a valid
+    // whole-stream answer.
+    size_t first_stale = count;
+    for (size_t s = 0; s < count; ++s) {
+      if (merged_epochs_[s] != epochs[s]) {
+        first_stale = s;
+        break;
+      }
+    }
+    for (size_t s = first_stale; s < count; ++s) {
+      if (snaps[s] == nullptr) {
+        prefix_[s + 1] = prefix_[s];
+      } else {
+        auto next =
+            std::make_shared<Summary>(SummaryDeepCopy(*prefix_[s]));
+        CASTREAM_RETURN_NOT_OK(next->MergeFrom(*snaps[s]));
+        merges_.fetch_add(1, std::memory_order_relaxed);
+        prefix_[s + 1] = std::move(next);
+      }
+      merged_epochs_[s] = epochs[s];
+    }
+    return prefix_[count];
+  }
+
+  /// \brief Drops the memo; the next Merge rebuilds from scratch. Never
+  /// needed for correctness.
+  void Invalidate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    prefix_.clear();
+    merged_epochs_.clear();
+  }
+
+  /// \brief Cumulative MergeFrom calls performed — the "how incremental was
+  /// it really" observable the regression tests assert on.
+  uint64_t merges_performed() const {
+    return merges_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::function<Summary()> make_empty_;
+  std::mutex mu_;
+  // prefix_[k] = empty merged with slots 0..k-1; merged_epochs_[s] is the
+  // epoch prefix_[s+1] was built from; prefix_[count] is the answer.
+  std::vector<std::shared_ptr<const Summary>> prefix_;
+  std::vector<uint64_t> merged_epochs_;
+  std::atomic<uint64_t> merges_{0};
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_DRIVER_MERGE_CACHE_H_

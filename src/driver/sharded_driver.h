@@ -77,6 +77,7 @@
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/driver/bounded_queue.h"
+#include "src/driver/merge_cache.h"
 #include "src/hash/hash_family.h"
 #include "src/stream/types.h"
 
@@ -156,7 +157,11 @@ class ShardedDriver {
  public:
   ShardedDriver(const ShardedDriverOptions& options,
                 std::function<Summary()> make_summary)
-      : options_(Clamp(options)), make_summary_(std::move(make_summary)) {
+      : options_(Clamp(options)),
+        make_summary_(std::move(make_summary)),
+        // this-capture is stable: the driver is neither copyable nor
+        // movable, and the cache member outlives no part of *this.
+        merge_cache_([this] { return make_summary_(); }) {
     shards_.reserve(options_.shards);
     for (uint32_t s = 0; s < options_.shards; ++s) {
       shards_.push_back(std::make_unique<Shard>(make_summary_(),
@@ -377,8 +382,9 @@ class ShardedDriver {
   }
 
   /// \brief The merge engine both query paths share: gather published
-  /// snapshots, reuse the epoch-keyed prefix cache, rebuild the changed
-  /// suffix.
+  /// snapshots, then fold them through the epoch-keyed PrefixMergeCache
+  /// (src/driver/merge_cache.h — the same engine the cross-process reducer
+  /// runs), which rebuilds only the changed suffix.
   Result<std::shared_ptr<const Summary>> MergeSnapshots() {
     const uint32_t count = shard_count();
     std::vector<std::shared_ptr<const Summary>> snaps(count);
@@ -388,41 +394,7 @@ class ShardedDriver {
       snaps[s] = shards_[s]->snapshot;
       epochs[s] = shards_[s]->snapshot_epoch;
     }
-
-    std::lock_guard<std::mutex> lock(merge_mu_);
-    if (prefix_.empty()) {
-      // prefix_[k] = fresh summary merged with snapshots 0..k-1 in shard
-      // order; epoch 0 means "never published", and the all-ones sentinel
-      // marks every cached prefix stale.
-      prefix_.assign(count + 1, nullptr);
-      merged_epochs_.assign(count, ~uint64_t{0});
-      prefix_[0] = std::make_shared<const Summary>(make_summary_());
-    }
-    // Concurrent snapshot queries serialize here; one that gathered its
-    // epochs just before a publish may rebuild the cache from a snapshot
-    // one epoch older than a racing caller merged. That only thrashes the
-    // cache (the next query re-merges) — every combination of per-shard
-    // snapshots is a valid whole-stream prefix under the x-partition.
-    uint32_t first_stale = count;
-    for (uint32_t s = 0; s < count; ++s) {
-      if (merged_epochs_[s] != epochs[s]) {
-        first_stale = s;
-        break;
-      }
-    }
-    for (uint32_t s = first_stale; s < count; ++s) {
-      if (snaps[s] == nullptr) {
-        // Never-published shard: contributes nothing; alias the prefix.
-        prefix_[s + 1] = prefix_[s];
-      } else {
-        auto next = std::make_shared<Summary>(CopyOf(*prefix_[s]));
-        CASTREAM_RETURN_NOT_OK(next->MergeFrom(*snaps[s]));
-        shard_merges_.fetch_add(1, std::memory_order_relaxed);
-        prefix_[s + 1] = std::move(next);
-      }
-      merged_epochs_[s] = epochs[s];
-    }
-    return prefix_[count];
+    return merge_cache_.Merge(snaps, epochs);
   }
 
  public:
@@ -430,11 +402,7 @@ class ShardedDriver {
   /// SnapshotSummary/MergedSummary to rebuild from scratch. Exists so tests
   /// can pin "incremental reuse answers == from-scratch answers"; never
   /// needed for correctness.
-  void InvalidateSnapshotCache() {
-    std::lock_guard<std::mutex> lock(merge_mu_);
-    prefix_.clear();
-    merged_epochs_.clear();
-  }
+  void InvalidateSnapshotCache() { merge_cache_.Invalidate(); }
 
   /// \brief Serializes shard s's summary (the versioned wire format of
   /// src/io) — the unit a cross-process deployment ships to a reducer.
@@ -450,6 +418,31 @@ class ShardedDriver {
     }
     std::lock_guard<std::mutex> lock(shards_[s]->summary_mu);
     return shards_[s]->summary.Serialize(out);
+  }
+
+  /// \brief Serializes shard s's last *published* snapshot and reports the
+  /// epoch it was published at — the consistent (epoch, blob) pair the
+  /// continuous service ships (SerializeShard reads the live summary, whose
+  /// content keeps moving past any epoch). Never blocks on ingest: the
+  /// snapshot pointer is grabbed under the cheap snapshot lock and encoded
+  /// outside it. A shard that has never published yields epoch 0 and an
+  /// untouched *out (the defined "nothing to ship yet" state).
+  [[nodiscard]] Status SerializeShardSnapshot(uint32_t s, std::string* out,
+                                              uint64_t* epoch)
+    requires SerializableSummary<Summary>
+  {
+    if (s >= shards_.size()) {
+      return Status::InvalidArgument(
+          "ShardedDriver::SerializeShardSnapshot: shard index out of range");
+    }
+    std::shared_ptr<const Summary> snap;
+    {
+      std::lock_guard<std::mutex> lock(shards_[s]->snapshot_mu);
+      snap = shards_[s]->snapshot;
+      *epoch = shards_[s]->snapshot_epoch;
+    }
+    if (snap == nullptr) return Status::OK();  // epoch 0: never published
+    return snap->Serialize(out);
   }
 
   /// \brief Blocking convenience point query: Flush, then query the merged
@@ -511,7 +504,7 @@ class ShardedDriver {
   /// merge engine (both query paths). A repeated query with no intervening
   /// ingest adds zero — the regression tests' observable.
   uint64_t shard_merges_performed() const {
-    return shard_merges_.load(std::memory_order_relaxed);
+    return merge_cache_.merges_performed();
   }
 
  private:
@@ -547,13 +540,7 @@ class ShardedDriver {
   /// otherwise the explicit Clone() (AnySummary). Both are exact — the copy
   /// is structurally identical, so merges behave as if the original were
   /// used.
-  static Summary CopyOf(const Summary& s) {
-    if constexpr (std::copy_constructible<Summary>) {
-      return Summary(s);
-    } else {
-      return s.Clone();
-    }
-  }
+  static Summary CopyOf(const Summary& s) { return SummaryDeepCopy(s); }
 
   /// \brief Publishes a fresh snapshot of `shard` if (and only if) its
   /// summary changed since the last publish. Called from the shard's own
@@ -593,33 +580,28 @@ class ShardedDriver {
 
   ShardedDriverOptions options_;
   std::function<Summary()> make_summary_;
+  // The epoch-keyed merge engine (src/driver/merge_cache.h; also the
+  // reducer's engine). Memory trade, deliberate: the cache pins up to S
+  // merged copies (plus the S published snapshots) on top of the live
+  // shards — roughly 3x one summary set — in exchange for suffix-only
+  // rebuilds and zero-merge repeat queries. A deployment that can't afford
+  // it can shrink via fewer/smaller shards or drop the cache between query
+  // bursts with InvalidateSnapshotCache.
+  PrefixMergeCache<Summary> merge_cache_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<Writer> default_writer_;
 
-  // Merge engine state (guarded by merge_mu_): prefix_[k] is the fresh
-  // summary merged with snapshots 0..k-1 in shard order; merged_epochs_[s]
-  // is the epoch prefix_[s+1] was built from. prefix_[shard_count()] is the
-  // whole-stream merge handed to callers. Memory trade, deliberate: the
-  // cache pins up to S merged copies (plus the S published snapshots) on
-  // top of the live shards — roughly 3x one summary set — in exchange for
-  // suffix-only rebuilds and zero-merge repeat queries. A deployment that
-  // can't afford it can shrink via fewer/smaller shards or drop the cache
-  // between query bursts with InvalidateSnapshotCache.
   /// Idle-shard nudge cadence: bounds the extra staleness of a shard whose
   /// ingest went quiet, and bounds nudge publish work to ~10 passes/s no
   /// matter how hot the query loop runs.
   static constexpr std::chrono::milliseconds kIdleNudgePeriod{100};
 
-  std::mutex merge_mu_;
-  std::vector<std::shared_ptr<const Summary>> prefix_;
-  std::vector<uint64_t> merged_epochs_;
-
-  // Idle-nudge state (guarded by nudge_mu_, deliberately separate from
-  // merge_mu_ so a nudge pass doing summary copies never stalls merges).
+  // Idle-nudge state (guarded by nudge_mu_, deliberately separate from the
+  // cache's own lock so a nudge pass doing summary copies never stalls
+  // merges).
   std::mutex nudge_mu_;
   std::vector<uint64_t> last_seen_batches_;  // per-shard, for idle detection
   std::chrono::steady_clock::time_point last_nudge_{};
-  std::atomic<uint64_t> shard_merges_{0};
   // Set (permanently) by the first SnapshotSummary/SnapshotQuery; gates the
   // ingest threads' interval publication.
   std::atomic<bool> snapshots_armed_{false};

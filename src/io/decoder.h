@@ -75,6 +75,14 @@ class Decoder {
   /// each element will consume at least `min_bytes_each` (>= 1), so a count
   /// exceeding remaining()/min_bytes_each proves the blob corrupt before any
   /// allocation sized by it happens.
+  ///
+  /// `min_bytes_each == 0` is treated as 1, never as "no cap": the whole
+  /// point of this method is that a 4-byte count field cannot drive an
+  /// allocation larger than the payload could possibly back, and a zero
+  /// divisor would disable exactly that guarantee. Callers should still
+  /// pass their true per-element floor — a tighter floor rejects corrupt
+  /// blobs earlier — but a careless 0 degrades to the weakest cap, not to
+  /// an unchecked count.
   [[nodiscard]] Status ReadCount(uint32_t* count, size_t min_bytes_each) {
     uint32_t n = 0;
     CASTREAM_RETURN_NOT_OK(ReadU32(&n));

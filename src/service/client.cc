@@ -1,0 +1,33 @@
+#include "src/service/client.h"
+
+#include "src/io/decoder.h"
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+
+namespace castream::service {
+
+Result<ServedAnswer> QueryServed(const std::string& host, uint16_t port,
+                                 uint64_t cutoff,
+                                 std::chrono::milliseconds timeout) {
+  CASTREAM_ASSIGN_OR_RETURN(net::Socket socket, net::TcpConnect(host, port));
+  CASTREAM_RETURN_NOT_OK(socket.SetReadTimeout(timeout));
+  std::string payload;
+  EncodeQuery(cutoff, &payload);
+  net::FrameHeader header;
+  header.type = net::FrameType::kQuery;
+  CASTREAM_RETURN_NOT_OK(net::WriteFrame(socket, header, payload));
+  CASTREAM_ASSIGN_OR_RETURN(auto reply, net::ReadFrame(socket));
+  if (!reply.has_value()) {
+    return Status::Unavailable(
+        "query: reducer closed the connection before replying");
+  }
+  if (reply->header.type != net::FrameType::kQueryReply) {
+    return Status::InvalidArgument(
+        "query: reducer sent a non-reply frame");
+  }
+  ServedAnswer answer;
+  CASTREAM_RETURN_NOT_OK(DecodeAnswer(io::BytesOf(reply->payload), &answer));
+  return answer;
+}
+
+}  // namespace castream::service

@@ -1,0 +1,28 @@
+// One-shot query client of the continuous aggregation service.
+#ifndef CASTREAM_SERVICE_CLIENT_H_
+#define CASTREAM_SERVICE_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/service/protocol.h"
+
+namespace castream::service {
+
+/// \brief Connects, sends one kQuery at `cutoff`, and returns the reducer's
+/// answer (estimate or the summary's own query error, plus the epoch
+/// vector). The read timeout bounds the whole exchange: a wedged reducer
+/// yields Unavailable here, never a hung client — which is what lets the
+/// CI demo assert that queries keep completing while workers die and
+/// reconnect. Errors from the Result layer are *transport* failures;
+/// summary-level failures (e.g. a FAIL region) arrive inside
+/// ServedAnswer::status.
+Result<ServedAnswer> QueryServed(
+    const std::string& host, uint16_t port, uint64_t cutoff,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+
+}  // namespace castream::service
+
+#endif  // CASTREAM_SERVICE_CLIENT_H_

@@ -1,0 +1,137 @@
+#include "src/service/protocol.h"
+
+#include <bit>
+
+#include "src/io/decoder.h"
+#include "src/io/encoder.h"
+
+namespace castream::service {
+
+namespace {
+
+/// \brief Rebuilds a Status from its wire (code, message) pair. Unknown
+/// codes collapse to Internal — a newer peer's taxonomy must not crash an
+/// older client.
+Status StatusFromWire(uint32_t code, std::string msg) {
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kQueryOutOfRange:
+      return Status::QueryOutOfRange(msg);
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(msg);
+    case Status::Code::kPreconditionFailed:
+      return Status::PreconditionFailed(msg);
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(msg);
+    case Status::Code::kUnavailable:
+      return Status::Unavailable(msg);
+    case Status::Code::kInternal:
+      break;
+  }
+  return Status::Internal(msg);
+}
+
+}  // namespace
+
+void EncodeQuery(uint64_t cutoff, std::string* out) {
+  io::Encoder enc(out);
+  enc.PutU64(cutoff);
+}
+
+Status DecodeQuery(std::span<const std::byte> payload, uint64_t* cutoff) {
+  io::Decoder dec(payload);
+  CASTREAM_RETURN_NOT_OK(dec.ReadU64(cutoff));
+  if (!dec.Done()) {
+    return Status::InvalidArgument("query payload: trailing garbage");
+  }
+  return Status::OK();
+}
+
+void EncodeAck(net::AckCode code, uint64_t stored_epoch, std::string* out) {
+  io::Encoder enc(out);
+  enc.PutU8(static_cast<uint8_t>(code));
+  enc.PutU64(stored_epoch);
+}
+
+Status DecodeAck(std::span<const std::byte> payload, net::AckCode* code,
+                 uint64_t* stored_epoch) {
+  io::Decoder dec(payload);
+  uint8_t raw = 0;
+  CASTREAM_RETURN_NOT_OK(dec.ReadU8(&raw));
+  if (raw > static_cast<uint8_t>(net::AckCode::kRejected)) {
+    return Status::InvalidArgument("ack payload: unknown ack code");
+  }
+  *code = static_cast<net::AckCode>(raw);
+  CASTREAM_RETURN_NOT_OK(dec.ReadU64(stored_epoch));
+  if (!dec.Done()) {
+    return Status::InvalidArgument("ack payload: trailing garbage");
+  }
+  return Status::OK();
+}
+
+void EncodeAnswer(const ServedAnswer& answer, std::string* out) {
+  io::Encoder enc(out);
+  enc.PutU8(answer.status.ok() ? 1 : 0);
+  if (answer.status.ok()) {
+    enc.PutU64(std::bit_cast<uint64_t>(answer.estimate));
+  } else {
+    enc.PutU32(static_cast<uint32_t>(answer.status.code()));
+    const std::string& msg = answer.status.message();
+    enc.PutU32(static_cast<uint32_t>(msg.size()));
+    enc.PutBytes(io::BytesOf(msg));
+  }
+  enc.PutU32(static_cast<uint32_t>(answer.epochs.size()));
+  for (const EpochEntry& e : answer.epochs) {
+    enc.PutU32(e.worker);
+    enc.PutU32(e.shard);
+    enc.PutU64(e.epoch);
+  }
+}
+
+Status DecodeAnswer(std::span<const std::byte> payload,
+                    ServedAnswer* answer) {
+  io::Decoder dec(payload);
+  uint8_t ok = 0;
+  CASTREAM_RETURN_NOT_OK(dec.ReadU8(&ok));
+  if (ok > 1) {
+    return Status::InvalidArgument("answer payload: ok flag not 0/1");
+  }
+  if (ok) {
+    uint64_t bits = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadU64(&bits));
+    answer->estimate = std::bit_cast<double>(bits);
+    answer->status = Status::OK();
+  } else {
+    uint32_t code = 0;
+    uint32_t msg_len = 0;
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&code));
+    CASTREAM_RETURN_NOT_OK(dec.ReadCount(&msg_len, 1));
+    std::span<const std::byte> msg;
+    CASTREAM_RETURN_NOT_OK(dec.ReadBytes(msg_len, &msg));
+    answer->status = StatusFromWire(
+        code, std::string(reinterpret_cast<const char*>(msg.data()),
+                          msg.size()));
+    if (answer->status.ok()) {
+      return Status::InvalidArgument(
+          "answer payload: error reply carrying an OK status code");
+    }
+  }
+  uint32_t n = 0;
+  CASTREAM_RETURN_NOT_OK(dec.ReadCount(&n, 16));
+  answer->epochs.clear();
+  answer->epochs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    EpochEntry e;
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&e.worker));
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&e.shard));
+    CASTREAM_RETURN_NOT_OK(dec.ReadU64(&e.epoch));
+    answer->epochs.push_back(e);
+  }
+  if (!dec.Done()) {
+    return Status::InvalidArgument("answer payload: trailing garbage");
+  }
+  return Status::OK();
+}
+
+}  // namespace castream::service

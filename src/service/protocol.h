@@ -1,0 +1,68 @@
+// Payload codecs of the continuous aggregation service, shared by the
+// reducer (src/service/reducer.h), the worker-side publisher, and the
+// query client — one encoder/decoder pair per payload, so the two ends can
+// never drift. Framing (header, session/epoch semantics) lives in
+// src/net/frame.h; this file is only what goes *inside* the frames, all of
+// it through the checked io::Encoder/Decoder.
+//
+// A query answer carries its epoch vector: one (worker, shard, epoch)
+// entry per slot of the reducer's snapshot table, exactly the publications
+// the estimate was merged from. That vector IS the staleness bound — a
+// client comparing it against the workers' live epochs knows how far
+// behind the answer is, per shard.
+#ifndef CASTREAM_SERVICE_PROTOCOL_H_
+#define CASTREAM_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/frame.h"
+
+namespace castream::service {
+
+/// \brief One slot of the reducer's snapshot table, as reported in query
+/// answers: worker w's shard s was merged at publication epoch `epoch`.
+struct EpochEntry {
+  uint32_t worker = 0;
+  uint32_t shard = 0;
+  uint64_t epoch = 0;
+};
+
+/// \brief A served query answer: the estimate (or the summary's own error,
+/// e.g. QueryOutOfRange in a FAIL region) plus the epoch vector it was
+/// computed from. The vector is present either way — a failed query is
+/// still an answer about a definite snapshot state.
+struct ServedAnswer {
+  Status status;
+  double estimate = 0.0;
+  std::vector<EpochEntry> epochs;
+};
+
+// kQuery payload: { u64 cutoff }.
+void EncodeQuery(uint64_t cutoff, std::string* out);
+[[nodiscard]] Status DecodeQuery(std::span<const std::byte> payload,
+                                 uint64_t* cutoff);
+
+// kPublishAck payload: { u8 AckCode, u64 stored_epoch } — the epoch the
+// reducer now holds for the (worker, shard), whether this publish advanced
+// it or was an idempotent duplicate.
+void EncodeAck(net::AckCode code, uint64_t stored_epoch, std::string* out);
+[[nodiscard]] Status DecodeAck(std::span<const std::byte> payload,
+                               net::AckCode* code, uint64_t* stored_epoch);
+
+// kQueryReply payload:
+//   u8  ok
+//   ok: u64 estimate bits (IEEE-754 via bit_cast; transport only — durable
+//       summary state never ships floats, see src/io/encoder.h)
+//   !ok: u32 status code, u32 message length, message bytes
+//   u32 entry count, then per entry { u32 worker, u32 shard, u64 epoch }
+void EncodeAnswer(const ServedAnswer& answer, std::string* out);
+[[nodiscard]] Status DecodeAnswer(std::span<const std::byte> payload,
+                                  ServedAnswer* answer);
+
+}  // namespace castream::service
+
+#endif  // CASTREAM_SERVICE_PROTOCOL_H_

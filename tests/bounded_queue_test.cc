@@ -1,0 +1,138 @@
+// BoundedQueue contract tests, with emphasis on the failure edges:
+//   * capacity 0 must abort loudly at construction (never a silent clamp
+//     that deadlocks the first producer),
+//   * Close while producers are blocked on a full queue must wake them
+//     with a definite `false` (item dropped), never leave them parked,
+//   * Close while the consumer is blocked on an empty queue must wake it
+//     with nullopt once drained.
+// Runs under the `concurrency` CTest label so the TSan job covers the
+// blocking paths.
+#include "src/driver/bounded_queue.h"
+
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace castream {
+namespace {
+
+// Death tests fork; under ThreadSanitizer the forked child inherits the
+// runtime in a state TSan does not support, producing spurious failures.
+// The abort-on-zero-capacity behavior is single-threaded anyway, so the
+// ASan/UBSan and plain jobs give it full coverage.
+#if defined(__SANITIZE_THREAD__)
+#define CASTREAM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CASTREAM_TSAN 1
+#endif
+#endif
+
+TEST(BoundedQueueDeathTest, ZeroCapacityAbortsLoudly) {
+#if defined(CASTREAM_TSAN)
+  GTEST_SKIP() << "death tests are unreliable under TSan";
+#else
+  EXPECT_DEATH(BoundedQueue<int> q(0), "capacity must be >= 1");
+#endif
+}
+
+TEST(BoundedQueueTest, FifoThroughCapacityOne) {
+  BoundedQueue<int> q(1);
+  std::vector<int> got;
+  std::thread consumer([&] {
+    while (auto item = q.Pop()) {
+      got.push_back(*item);
+      q.AckDone();
+    }
+  });
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(q.Push(i));
+  q.WaitIdle();
+  q.Close();
+  consumer.join();
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducersWithFalse) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(0));  // fill: every further Push blocks
+  constexpr int kProducers = 4;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int i = 0; i < kProducers; ++i) {
+    producers.emplace_back([&q, &rejected] {
+      if (!q.Push(1)) rejected.fetch_add(1);
+    });
+  }
+  // Give the producers a moment to actually park on the full queue; the
+  // assertion below does not depend on this (Close wakes them whether or
+  // not they reached the wait), it just makes the test exercise the
+  // blocked path rather than the fast path most of the time.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  q.Close();
+  for (auto& t : producers) t.join();
+  // Every producer got a definite answer: the queue was full and closed,
+  // so all four pushes must report rejection, not hang.
+  EXPECT_EQ(rejected.load(), kProducers);
+  // The pre-Close item still drains.
+  auto item = q.Pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 0);
+  q.AckDone();
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumerWithNullopt) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> got_nullopt{false};
+  std::thread consumer([&] {
+    if (!q.Pop().has_value()) got_nullopt.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(got_nullopt.load());
+}
+
+TEST(BoundedQueueTest, PushAfterCloseFails) {
+  BoundedQueue<int> q(4);
+  q.Close();
+  EXPECT_FALSE(q.Push(1));
+}
+
+TEST(BoundedQueueTest, CloseDrainsPendingItemsBeforeNullopt) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i));
+  q.Close();
+  for (int i = 0; i < 5; ++i) {
+    auto item = q.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+    q.AckDone();
+  }
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, WaitIdleIsAQuiescenceBarrier) {
+  BoundedQueue<int> q(2);
+  std::atomic<int> processed{0};
+  std::thread consumer([&] {
+    while (auto item = q.Pop()) {
+      processed.fetch_add(1, std::memory_order_relaxed);
+      q.AckDone();
+    }
+  });
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(q.Push(i));
+  q.WaitIdle();
+  // WaitIdle returned only after every pushed item was popped AND acked.
+  EXPECT_EQ(processed.load(std::memory_order_relaxed), 64);
+  q.Close();
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace castream

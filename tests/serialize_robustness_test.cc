@@ -176,6 +176,56 @@ TEST(SerializeRobustnessTest, InflatedCountsCannotDriveAllocations) {
   }
 }
 
+TEST(SerializeRobustnessTest, ReadCountZeroMinBytesStillCapsByRemaining) {
+  // Regression: min_bytes_each == 0 must degrade to the weakest cap (1 byte
+  // per element), never to "no cap" — a division by zero there would be UB,
+  // and skipping the check would let a hostile 4-byte count drive a
+  // multi-gigabyte reserve. Payload: count = 2^32-1 with 4 bytes behind it.
+  std::string payload;
+  payload.append("\xff\xff\xff\xff", 4);  // declared count
+  payload.append("abcd", 4);              // only 4 bytes actually remain
+  io::Decoder decoder(io::BytesOf(payload));
+  uint32_t count = 0;
+  Status status = decoder.ReadCount(&count, /*min_bytes_each=*/0);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(SerializeRobustnessTest, ReadCountBoundaryAcceptsExactFit) {
+  // count * min_bytes_each == remaining is the largest claim a blob can
+  // back; it must be accepted, and one element more must be rejected.
+  {
+    std::string payload;
+    payload.append("\x03\x00\x00\x00", 4);  // count = 3
+    payload.append(12, 'x');                // 3 elements * 4 bytes each
+    io::Decoder decoder(io::BytesOf(payload));
+    uint32_t count = 0;
+    ASSERT_TRUE(decoder.ReadCount(&count, /*min_bytes_each=*/4).ok());
+    EXPECT_EQ(count, 3u);
+  }
+  {
+    std::string payload;
+    payload.append("\x04\x00\x00\x00", 4);  // count = 4, one too many
+    payload.append(12, 'x');
+    io::Decoder decoder(io::BytesOf(payload));
+    uint32_t count = 0;
+    Status status = decoder.ReadCount(&count, /*min_bytes_each=*/4);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  }
+}
+
+TEST(SerializeRobustnessTest, ReadCountZeroElementsAlwaysFits) {
+  // A zero count is valid even with nothing behind it (empty collections
+  // serialize to just the count word).
+  std::string payload("\x00\x00\x00\x00", 4);
+  io::Decoder decoder(io::BytesOf(payload));
+  uint32_t count = 99;
+  ASSERT_TRUE(decoder.ReadCount(&count, /*min_bytes_each=*/0).ok());
+  EXPECT_EQ(count, 0u);
+  EXPECT_TRUE(decoder.Done());
+}
+
 TEST(SerializeRobustnessTest, EmptyAndTinySpans) {
   auto empty = AnySummary::Deserialize(std::span<const std::byte>{});
   ASSERT_FALSE(empty.ok());

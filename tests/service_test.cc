@@ -1,0 +1,386 @@
+// In-process integration tests of the continuous aggregation service:
+// reducer + publisher + query client over real loopback sockets, pinned
+// against the in-process driver oracle. The cross-process version of these
+// checks lives in ci/served_demo.sh; here everything runs in one binary so
+// the suite can assert on reducer counters and drive restarts precisely.
+// Runs under the `concurrency` label: the reducer is thread-per-connection
+// and the TSan job must see those paths.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/any_summary.h"
+#include "src/driver/sharded_driver.h"
+#include "src/io/decoder.h"
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+#include "src/service/client.h"
+#include "src/service/publisher.h"
+#include "src/service/reducer.h"
+#include "src/stream/types.h"
+#include "tests/test_util.h"
+
+namespace castream {
+namespace {
+
+using test::TestRng;
+
+SummaryOptions ServiceOptions() {
+  SummaryOptions opts;
+  opts.eps = 0.25;
+  opts.delta = 0.1;
+  opts.y_max = 4095;
+  opts.f_max_hint = 1e6;
+  opts.x_domain = 512;
+  opts.phi_eps = 0.1;
+  return opts;
+}
+
+constexpr uint64_t kSeed = 42;
+
+service::ReducerOptions ReducerOpts(const char* kind, uint16_t port = 0) {
+  service::ReducerOptions ropts;
+  ropts.kind = kind;
+  ropts.summary = ServiceOptions();
+  ropts.summary_seed = kSeed;
+  ropts.port = port;
+  return ropts;
+}
+
+std::vector<Tuple> DemoStream(size_t n, uint64_t rng_seed = 11) {
+  Xoshiro256 rng = TestRng(rng_seed);
+  std::vector<Tuple> stream;
+  stream.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    stream.push_back(Tuple{rng.NextBounded(512), rng.NextBounded(4096)});
+  }
+  return stream;
+}
+
+std::unique_ptr<ShardedDriver<AnySummary>> MakeDriver(const char* kind,
+                                                      uint32_t shards) {
+  ShardedDriverOptions dopts;
+  dopts.shards = shards;
+  dopts.batch_size = 256;
+  std::string kind_name = kind;
+  return std::make_unique<ShardedDriver<AnySummary>>(
+      dopts, [kind_name] {
+        auto made = MakeSummary(kind_name, ServiceOptions(), kSeed);
+        return std::move(made).value();
+      });
+}
+
+service::PublisherOptions FastPublisher(uint16_t port, uint32_t worker = 0) {
+  service::PublisherOptions popts;
+  popts.port = port;
+  popts.worker_id = worker;
+  popts.initial_backoff = std::chrono::milliseconds(5);
+  popts.max_backoff = std::chrono::milliseconds(100);
+  return popts;
+}
+
+TEST(ServiceTest, PublishedAnswersEqualDriverOracleExactly) {
+  for (const char* kind : {"f2", "f0", "rarity", "hh"}) {
+    auto started = service::SnapshotReducer::Start(ReducerOpts(kind));
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    auto reducer = std::move(started).value();
+
+    auto driver = MakeDriver(kind, /*shards=*/3);
+    const auto stream = DemoStream(6000);
+    driver->InsertBatch(stream);
+    // MergedSummary flushes, publishes, and merges snapshots in shard
+    // order from an empty summary — exactly the fold the reducer performs
+    // over its (worker, shard) table, so equality must be bit-for-bit.
+    auto oracle = driver->MergedSummary();
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+    service::ShardPublisher publisher(FastPublisher(reducer->port()));
+    ASSERT_TRUE(
+        service::PublishFreshSnapshots(publisher, *driver).ok());
+
+    for (uint64_t cutoff : {uint64_t{0}, uint64_t{63}, uint64_t{2047},
+                            uint64_t{4095}}) {
+      auto reply =
+          service::QueryServed("127.0.0.1", reducer->port(), cutoff);
+      ASSERT_TRUE(reply.ok()) << kind << ": " << reply.status().ToString();
+      const auto want = oracle.value().Query(cutoff);
+      ASSERT_EQ(reply.value().status.ok(), want.ok()) << kind;
+      if (want.ok()) {
+        EXPECT_EQ(reply.value().estimate, want.value())
+            << kind << " cutoff " << cutoff << ": served answer diverged "
+            << "from the in-process merge";
+      }
+      // The epoch vector covers every published slot and names worker 0.
+      ASSERT_EQ(reply.value().epochs.size(), 3u) << kind;
+      for (const auto& e : reply.value().epochs) {
+        EXPECT_EQ(e.worker, 0u);
+        EXPECT_GT(e.epoch, 0u);
+      }
+    }
+    EXPECT_EQ(reducer->publishes_rejected(), 0u);
+    EXPECT_GE(reducer->publishes_accepted(), 3u);
+  }
+}
+
+TEST(ServiceTest, EmptyTableAnswersAsFreshSummary) {
+  auto started = service::SnapshotReducer::Start(ReducerOpts("f2"));
+  ASSERT_TRUE(started.ok());
+  auto reducer = std::move(started).value();
+  auto reply = service::QueryServed("127.0.0.1", reducer->port(), 100);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply.value().epochs.empty());
+  auto fresh = MakeSummary("f2", ServiceOptions(), kSeed);
+  ASSERT_TRUE(fresh.ok());
+  const auto want = fresh.value().Query(100);
+  ASSERT_EQ(reply.value().status.ok(), want.ok());
+  if (want.ok()) {
+    EXPECT_EQ(reply.value().estimate, want.value());
+  }
+}
+
+// Raw-frame test of the session/epoch idempotence rules: replays are
+// duplicates, older sessions are stale echoes, newer sessions replace.
+TEST(ServiceTest, SessionEpochRulesAtTheFrameLevel) {
+  auto started = service::SnapshotReducer::Start(ReducerOpts("f2"));
+  ASSERT_TRUE(started.ok());
+  auto reducer = std::move(started).value();
+
+  auto made = MakeSummary("f2", ServiceOptions(), kSeed);
+  ASSERT_TRUE(made.ok());
+  AnySummary summary = std::move(made).value();
+  summary.InsertBatch(DemoStream(500));
+  std::string blob;
+  ASSERT_TRUE(summary.Serialize(&blob).ok());
+
+  auto connected = net::TcpConnect("127.0.0.1", reducer->port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  net::Socket socket = std::move(connected).value();
+  ASSERT_TRUE(socket.SetReadTimeout(std::chrono::milliseconds(5000)).ok());
+
+  auto publish = [&](uint64_t session, uint64_t epoch) -> net::AckCode {
+    net::FrameHeader header;
+    header.type = net::FrameType::kPublish;
+    header.worker = 7;
+    header.shard = 0;
+    header.session = session;
+    header.epoch = epoch;
+    EXPECT_TRUE(net::WriteFrame(socket, header, blob).ok());
+    auto reply = net::ReadFrame(socket);
+    EXPECT_TRUE(reply.ok() && reply.value().has_value());
+    EXPECT_EQ(reply.value()->header.type, net::FrameType::kPublishAck);
+    net::AckCode code = net::AckCode::kRejected;
+    uint64_t stored = 0;
+    EXPECT_TRUE(
+        service::DecodeAck(io::BytesOf(reply.value()->payload), &code,
+                           &stored)
+            .ok());
+    return code;
+  };
+
+  EXPECT_EQ(publish(123, 1), net::AckCode::kAccepted);
+  EXPECT_EQ(publish(123, 1), net::AckCode::kDuplicate);  // exact replay
+  EXPECT_EQ(publish(123, 2), net::AckCode::kAccepted);   // epoch advance
+  EXPECT_EQ(publish(123, 1), net::AckCode::kDuplicate);  // regression
+  EXPECT_EQ(publish(122, 9), net::AckCode::kDuplicate);  // older session
+  EXPECT_EQ(publish(124, 1), net::AckCode::kAccepted);   // restarted worker
+  EXPECT_EQ(reducer->publishes_accepted(), 3u);
+  EXPECT_EQ(reducer->publishes_duplicate(), 3u);
+}
+
+TEST(ServiceTest, HostileBlobIsRejectedAndServingContinues) {
+  auto started = service::SnapshotReducer::Start(ReducerOpts("f2"));
+  ASSERT_TRUE(started.ok());
+  auto reducer = std::move(started).value();
+
+  auto connected = net::TcpConnect("127.0.0.1", reducer->port());
+  ASSERT_TRUE(connected.ok());
+  net::Socket socket = std::move(connected).value();
+  ASSERT_TRUE(socket.SetReadTimeout(std::chrono::milliseconds(5000)).ok());
+  net::FrameHeader header;
+  header.type = net::FrameType::kPublish;
+  header.worker = 0;
+  header.shard = 0;
+  header.session = 1;
+  header.epoch = 1;
+  const std::string garbage(200, '\x5a');
+  ASSERT_TRUE(net::WriteFrame(socket, header, garbage).ok());
+  auto reply = net::ReadFrame(socket);
+  ASSERT_TRUE(reply.ok() && reply.value().has_value());
+  net::AckCode code = net::AckCode::kAccepted;
+  uint64_t stored = 0;
+  ASSERT_TRUE(service::DecodeAck(io::BytesOf(reply.value()->payload), &code,
+                                 &stored)
+                  .ok());
+  EXPECT_EQ(code, net::AckCode::kRejected);
+  EXPECT_EQ(reducer->publishes_rejected(), 1u);
+  EXPECT_EQ(reducer->publishes_accepted(), 0u);
+
+  // The rejection is the publisher's problem only: the same connection
+  // still serves, and so do new ones.
+  auto after = service::QueryServed("127.0.0.1", reducer->port(), 10);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(after.value().epochs.empty());
+}
+
+TEST(ServiceTest, GarbageFramesDropOnlyThatConnection) {
+  auto started = service::SnapshotReducer::Start(ReducerOpts("f2"));
+  ASSERT_TRUE(started.ok());
+  auto reducer = std::move(started).value();
+
+  auto connected = net::TcpConnect("127.0.0.1", reducer->port());
+  ASSERT_TRUE(connected.ok());
+  net::Socket socket = std::move(connected).value();
+  const std::string junk(64, '\x00');  // magic mismatch
+  ASSERT_TRUE(net::WriteFull(socket, io::BytesOf(junk)).ok());
+  // The reducer drops the connection; the read sees EOF (or a reset,
+  // depending on timing) — never a hang.
+  ASSERT_TRUE(socket.SetReadTimeout(std::chrono::milliseconds(5000)).ok());
+  auto reply = net::ReadFrame(socket);
+  EXPECT_TRUE(!reply.ok() || !reply.value().has_value());
+
+  auto after = service::QueryServed("127.0.0.1", reducer->port(), 10);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_GE(reducer->frames_bad(), 1u);
+}
+
+TEST(ServiceTest, ReducerRestartOnSamePortAndRepublish) {
+  auto driver = MakeDriver("f0", /*shards=*/2);
+  driver->InsertBatch(DemoStream(4000));
+  auto oracle = driver->MergedSummary();
+  ASSERT_TRUE(oracle.ok());
+
+  uint16_t port = 0;
+  service::ShardPublisher publisher(FastPublisher(0));
+  {
+    auto started = service::SnapshotReducer::Start(ReducerOpts("f0"));
+    ASSERT_TRUE(started.ok());
+    auto reducer = std::move(started).value();
+    port = reducer->port();
+    service::ShardPublisher first(FastPublisher(port));
+    ASSERT_TRUE(service::PublishFreshSnapshots(first, *driver).ok());
+    auto mid = service::QueryServed("127.0.0.1", port, 4095);
+    ASSERT_TRUE(mid.ok());
+    reducer->Shutdown();
+    // first publisher dies with its socket here — the restart below gets
+    // a fresh incarnation on the same port.
+  }
+  auto restarted = service::SnapshotReducer::Start(ReducerOpts("f0", port));
+  ASSERT_TRUE(restarted.ok())
+      << "rebind on the drained port: " << restarted.status().ToString();
+  auto reducer = std::move(restarted).value();
+  ASSERT_EQ(reducer->port(), port);
+  // Fresh table answers as empty until the worker re-publishes.
+  auto empty = service::QueryServed("127.0.0.1", port, 4095);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().epochs.empty());
+
+  service::ShardPublisher second(FastPublisher(port));
+  ASSERT_TRUE(service::PublishFreshSnapshots(second, *driver).ok());
+  auto reply = service::QueryServed("127.0.0.1", port, 4095);
+  ASSERT_TRUE(reply.ok());
+  const auto want = oracle.value().Query(4095);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(reply.value().status.ok());
+  EXPECT_EQ(reply.value().estimate, want.value())
+      << "post-restart republish must reconstruct the exact answer";
+  EXPECT_EQ(reply.value().epochs.size(), 2u);
+}
+
+TEST(ServiceTest, PublisherSurvivesReducerRestartOnOneConnection) {
+  // The same ShardPublisher object rides across a reducer restart: its
+  // stale socket fails, it reconnects with backoff, clears its acked set,
+  // and re-offers everything.
+  auto driver = MakeDriver("f2", /*shards=*/2);
+  driver->InsertBatch(DemoStream(3000));
+  auto oracle = driver->MergedSummary();
+  ASSERT_TRUE(oracle.ok());
+
+  auto started = service::SnapshotReducer::Start(ReducerOpts("f2"));
+  ASSERT_TRUE(started.ok());
+  auto reducer = std::move(started).value();
+  const uint16_t port = reducer->port();
+
+  service::ShardPublisher publisher(FastPublisher(port));
+  ASSERT_TRUE(service::PublishFreshSnapshots(publisher, *driver).ok());
+  const uint64_t gen_before = publisher.generation();
+
+  reducer->Shutdown();
+  auto restarted = service::SnapshotReducer::Start(ReducerOpts("f2", port));
+  ASSERT_TRUE(restarted.ok());
+  auto reducer2 = std::move(restarted).value();
+
+  ASSERT_TRUE(service::PublishFreshSnapshots(publisher, *driver).ok());
+  EXPECT_GT(publisher.generation(), gen_before)
+      << "the publisher must have noticed the restart and reconnected";
+  auto reply = service::QueryServed("127.0.0.1", port, 4095);
+  ASSERT_TRUE(reply.ok());
+  const auto want = oracle.value().Query(4095);
+  ASSERT_TRUE(want.ok() && reply.value().status.ok());
+  EXPECT_EQ(reply.value().estimate, want.value());
+}
+
+TEST(ServiceTest, ConnectBackoffGivesUpWithUnavailable) {
+  // Grab an ephemeral port and close it again: nothing listens there.
+  uint16_t dead_port = 0;
+  {
+    auto probe = net::Listener::Bind(0);
+    ASSERT_TRUE(probe.ok());
+    dead_port = probe.value().port();
+  }
+  service::PublisherOptions popts = FastPublisher(dead_port);
+  popts.connect_attempts = 3;
+  service::ShardPublisher publisher(popts);
+  Status st = publisher.Publish(0, 1, "irrelevant");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kUnavailable) << st.ToString();
+  EXPECT_FALSE(publisher.connected());
+}
+
+TEST(ServiceTest, EpochZeroPublishIsAnError) {
+  service::ShardPublisher publisher(FastPublisher(1));
+  Status st = publisher.Publish(0, 0, "blob");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ServiceTest, MismatchedSeedIsRejectedAtTheDoor) {
+  // A worker configured with a different hash seed produces blobs that
+  // cannot merge with the reducer's family; the probe-merge at publish
+  // time must reject them instead of poisoning the table.
+  auto started = service::SnapshotReducer::Start(ReducerOpts("f2"));
+  ASSERT_TRUE(started.ok());
+  auto reducer = std::move(started).value();
+
+  auto made = MakeSummary("f2", ServiceOptions(), kSeed + 1);
+  ASSERT_TRUE(made.ok());
+  AnySummary summary = std::move(made).value();
+  summary.InsertBatch(DemoStream(500));
+  std::string blob;
+  ASSERT_TRUE(summary.Serialize(&blob).ok());
+
+  service::ShardPublisher publisher(FastPublisher(reducer->port()));
+  Status st = publisher.Publish(0, 1, blob);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kPreconditionFailed) << st.ToString();
+  EXPECT_EQ(reducer->publishes_rejected(), 1u);
+  EXPECT_EQ(reducer->publishes_accepted(), 0u);
+}
+
+TEST(ServiceTest, ShutdownIsIdempotentAndQueriesAfterwardsFailFast) {
+  auto started = service::SnapshotReducer::Start(ReducerOpts("f2"));
+  ASSERT_TRUE(started.ok());
+  auto reducer = std::move(started).value();
+  const uint16_t port = reducer->port();
+  reducer->Shutdown();
+  reducer->Shutdown();  // second call is a no-op
+  auto reply = service::QueryServed("127.0.0.1", port, 10,
+                                    std::chrono::milliseconds(2000));
+  EXPECT_FALSE(reply.ok());
+}
+
+}  // namespace
+}  // namespace castream
