@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "bench/workload.h"
 #include "src/core/correlated_f0.h"
 #include "src/core/correlated_fk.h"
 #include "src/driver/sharded_driver.h"
@@ -22,24 +23,11 @@ using namespace castream;
 constexpr uint64_t kYRange = 1000000;
 constexpr size_t kStreamLen = 1 << 20;
 
-CorrelatedSketchOptions F2Opts() {
-  CorrelatedSketchOptions o;
-  o.eps = 0.20;
-  o.delta = 0.1;
-  o.y_max = kYRange;
-  o.f_max_hint = 1e12;
-  o.conditions = AggregateConditions::ForFk(2.0);
-  return o;
-}
+CorrelatedSketchOptions F2Opts() { return bench::F2BenchOpts(0.20, kYRange); }
 
 const std::vector<Tuple>& FixedStream() {
-  static const std::vector<Tuple>* stream = [] {
-    auto* s = new std::vector<Tuple>();
-    s->reserve(kStreamLen);
-    UniformGenerator gen(500000, kYRange, 2);
-    for (size_t i = 0; i < kStreamLen; ++i) s->push_back(gen.Next());
-    return s;
-  }();
+  static const auto* stream = new std::vector<Tuple>(
+      bench::MakeUniformStream(kStreamLen, 500000, kYRange, 2));
   return *stream;
 }
 
@@ -103,11 +91,10 @@ void BM_ShardedF2MergedQuery(benchmark::State& state) {
       dopts, [&] { return CorrelatedF2Sketch(opts, factory); });
   driver.InsertBatch(FixedStream());
   driver.Flush();
-  uint64_t c = 1;
+  bench::CutoffWalk walk;
   for (auto _ : state) {
-    auto r = driver.Query(c % kYRange);
+    auto r = driver.Query(walk.Next(kYRange));
     benchmark::DoNotOptimize(r);
-    c = c * 2654435761 + 1;
   }
 }
 BENCHMARK(BM_ShardedF2MergedQuery)->Arg(4)->UseRealTime();

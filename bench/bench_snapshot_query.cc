@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/workload.h"
 #include "src/core/correlated_fk.h"
 #include "src/driver/sharded_driver.h"
 #include "src/stream/generators.h"
@@ -37,24 +38,11 @@ using namespace castream;
 constexpr uint64_t kYRange = 1 << 16;
 constexpr size_t kStreamLen = 1 << 18;
 
-CorrelatedSketchOptions F2Opts() {
-  CorrelatedSketchOptions o;
-  o.eps = 0.20;
-  o.delta = 0.1;
-  o.y_max = kYRange;
-  o.f_max_hint = 1e12;
-  o.conditions = AggregateConditions::ForFk(2.0);
-  return o;
-}
+CorrelatedSketchOptions F2Opts() { return bench::F2BenchOpts(0.20, kYRange); }
 
 const std::vector<Tuple>& FixedStream() {
-  static const std::vector<Tuple>* stream = [] {
-    auto* s = new std::vector<Tuple>();
-    s->reserve(kStreamLen);
-    UniformGenerator gen(100000, kYRange, 11);
-    for (size_t i = 0; i < kStreamLen; ++i) s->push_back(gen.Next());
-    return s;
-  }();
+  static const auto* stream = new std::vector<Tuple>(
+      bench::MakeUniformStream(kStreamLen, 100000, kYRange, 11));
   return *stream;
 }
 
@@ -123,11 +111,10 @@ void BM_BlockingQueryQuiescent(benchmark::State& state) {
   // serving rate, not the one-off first merge (which would otherwise land
   // in whichever calibration round Google Benchmark happens to time).
   benchmark::DoNotOptimize(driver->Query(0));
-  uint64_t c = 1;
+  bench::CutoffWalk walk;
   for (auto _ : state) {
-    auto r = driver->Query(c % kYRange);
+    auto r = driver->Query(walk.Next(kYRange));
     benchmark::DoNotOptimize(r);
-    c = c * 2654435761 + 1;
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -136,11 +123,10 @@ BENCHMARK(BM_BlockingQueryQuiescent)->Arg(4)->UseRealTime();
 void BM_SnapshotQueryQuiescent(benchmark::State& state) {
   auto driver = MakeLoadedDriver(state.range(0), /*seed=*/22);
   benchmark::DoNotOptimize(driver->SnapshotQuery(0));  // prime (see above)
-  uint64_t c = 1;
+  bench::CutoffWalk walk;
   for (auto _ : state) {
-    auto r = driver->SnapshotQuery(c % kYRange);
+    auto r = driver->SnapshotQuery(walk.Next(kYRange));
     benchmark::DoNotOptimize(r);
-    c = c * 2654435761 + 1;
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -150,12 +136,11 @@ void BM_BlockingQueryUnderIngest(benchmark::State& state) {
   auto driver = MakeLoadedDriver(state.range(0), /*seed=*/23);
   benchmark::DoNotOptimize(driver->Query(0));  // prime (see above)
   BackgroundWriter writer(*driver);
-  uint64_t c = 1;
+  bench::CutoffWalk walk;
   const uint64_t pushed_before = writer.pushed();
   for (auto _ : state) {
-    auto r = driver->Query(c % kYRange);
+    auto r = driver->Query(walk.Next(kYRange));
     benchmark::DoNotOptimize(r);
-    c = c * 2654435761 + 1;
   }
   state.counters["ingest_tps"] = benchmark::Counter(
       static_cast<double>(writer.pushed() - pushed_before),
@@ -168,12 +153,11 @@ void BM_SnapshotQueryUnderIngest(benchmark::State& state) {
   auto driver = MakeLoadedDriver(state.range(0), /*seed=*/24);
   benchmark::DoNotOptimize(driver->SnapshotQuery(0));  // prime (see above)
   BackgroundWriter writer(*driver);
-  uint64_t c = 1;
+  bench::CutoffWalk walk;
   const uint64_t pushed_before = writer.pushed();
   for (auto _ : state) {
-    auto r = driver->SnapshotQuery(c % kYRange);
+    auto r = driver->SnapshotQuery(walk.Next(kYRange));
     benchmark::DoNotOptimize(r);
-    c = c * 2654435761 + 1;
   }
   state.counters["ingest_tps"] = benchmark::Counter(
       static_cast<double>(writer.pushed() - pushed_before),

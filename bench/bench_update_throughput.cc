@@ -6,6 +6,7 @@
 // across datasets and practical throughout.
 #include <benchmark/benchmark.h>
 
+#include "bench/workload.h"
 #include "src/core/correlated_f0.h"
 #include "src/core/correlated_fk.h"
 #include "src/core/correlated_heavy_hitters.h"
@@ -21,12 +22,7 @@ using namespace castream;
 constexpr uint64_t kYRange = 1000000;
 
 CorrelatedSketchOptions F2Opts(double eps) {
-  CorrelatedSketchOptions o;
-  o.eps = eps;
-  o.delta = 0.1;
-  o.y_max = kYRange;
-  o.f_max_hint = 1e12;
-  return o;
+  return bench::F2BenchOpts(eps, kYRange);
 }
 
 void BM_CorrelatedF2Insert(benchmark::State& state) {
@@ -165,11 +161,10 @@ void BM_CorrelatedF2Query(benchmark::State& state) {
     Tuple t = gen.Next();
     sketch.Insert(t.x, t.y);
   }
-  uint64_t c = 1;
+  bench::CutoffWalk walk;
   for (auto _ : state) {
-    auto r = sketch.Query(c % kYRange);
+    auto r = sketch.Query(walk.Next(kYRange));
     benchmark::DoNotOptimize(r);
-    c = c * 2654435761 + 1;
   }
 }
 BENCHMARK(BM_CorrelatedF2Query);

@@ -63,6 +63,21 @@ if [ -n "$MISSING_TESTS" ]; then
   exit 1
 fi
 
+# Same guard for the bench tier: every Google-Benchmark-based bench/bench_*.cc
+# must be listed in bench/run_baselines.sh, or its numbers silently fall out
+# of BENCH_baseline.json captures (and out of the regression gate's view) the
+# day it's added. Non-gbench bench sources (standalone timers) are exempt.
+MISSING_BENCHES=$(comm -23 \
+  <(grep -l "benchmark/benchmark\.h" bench/bench_*.cc \
+     | xargs -n1 basename | sed 's/\.cc$//' | sort) \
+  <(grep -o 'bench_[a-z_]*' bench/run_baselines.sh | sort -u))
+if [ -n "$MISSING_BENCHES" ]; then
+  echo "error: gbench-based bench/ sources not captured by" \
+       "bench/run_baselines.sh:" >&2
+  echo "$MISSING_BENCHES" >&2
+  exit 1
+fi
+
 cd "$BUILD_DIR"
 
 # --no-tests=error everywhere: a label that silently matches nothing (a
@@ -91,7 +106,7 @@ if [ "$BUILD_TYPE" = "Release" ] && [ -z "$SANITIZE" ]; then
   SMOKE_OUT=${BENCH_SMOKE_OUT:-bench_smoke.txt}
   : > "$SMOKE_OUT"
   for bench in bench_update_throughput bench_sharded_ingest bench_serialize \
-               bench_snapshot_query; do
+               bench_snapshot_query bench_zipf_ingest; do
     if [ -x "./$bench" ]; then
       echo "== bench smoke ($bench) =="
       "./$bench" --benchmark_min_time=0.05 2>&1 | tee -a "$SMOKE_OUT"

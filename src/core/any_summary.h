@@ -44,9 +44,11 @@ namespace castream {
 template <typename T>
 concept SummaryProtocol = requires(T s, const T& cs, std::string* out,
                                    std::span<const Tuple> batch,
+                                   std::span<const WeightedTuple> wbatch,
                                    std::span<const std::byte> bytes) {
   s.Insert(uint64_t{}, uint64_t{});
   s.InsertBatch(batch);
+  s.InsertBatch(wbatch);
   { s.MergeFrom(cs) } -> std::same_as<Status>;
   { cs.Serialize(out) } -> std::same_as<Status>;
   { T::Deserialize(bytes) } -> std::same_as<Result<T>>;
@@ -132,6 +134,22 @@ class AnySummary {
     if (impl_) impl_->InsertBatch(batch);
   }
 
+  /// \brief Weighted insert: for the linear kinds (f2, hh) the weight adds
+  /// to x's aggregate exactly like `weight` unit inserts; for the sampling
+  /// kinds (f0, rarity) it is a multiplicity — `weight` adjacent copies of
+  /// (x, y) — and weight <= 0 is a no-op.
+  void Insert(uint64_t x, uint64_t y, int64_t weight) {
+    assert(has_value());
+    if (impl_) impl_->Insert(x, y, weight);
+  }
+  void Insert(const WeightedTuple& t) { Insert(t.x, t.y, t.weight); }
+  /// \brief Weighted batch; exactly equivalent to per-row weighted Insert in
+  /// batch order (this is what the driver's hot-key coalescing emits).
+  void InsertBatch(std::span<const WeightedTuple> batch) {
+    assert(has_value());
+    if (impl_) impl_->InsertBatch(batch);
+  }
+
   /// \brief Merges another AnySummary of the same kind (and, transitively,
   /// the same configuration and hash family — checked by the concrete
   /// MergeFrom) into this one.
@@ -197,7 +215,9 @@ class AnySummary {
     explicit Interface(SummaryKind kind) : kind_(kind) {}
     virtual ~Interface() = default;
     virtual void Insert(uint64_t x, uint64_t y) = 0;
+    virtual void Insert(uint64_t x, uint64_t y, int64_t weight) = 0;
     virtual void InsertBatch(std::span<const Tuple> batch) = 0;
+    virtual void InsertBatch(std::span<const WeightedTuple> batch) = 0;
     virtual Status MergeFrom(const Interface& other) = 0;
     virtual Result<double> Query(uint64_t c) const = 0;
     virtual Result<std::vector<HeavyHitter>> QueryHeavyHitters(
@@ -215,7 +235,20 @@ class AnySummary {
         : Interface(kind), value_(std::move(value)) {}
 
     void Insert(uint64_t x, uint64_t y) override { value_.Insert(x, y); }
+    void Insert(uint64_t x, uint64_t y, int64_t weight) override {
+      if constexpr (std::same_as<T, CorrelatedF0Sketch> ||
+                    std::same_as<T, CorrelatedRaritySketch>) {
+        // Sampling kinds take multiplicities; non-positive weights are no-ops
+        // (there is nothing to un-sample).
+        if (weight > 0) value_.Insert(x, y, static_cast<uint64_t>(weight));
+      } else {
+        value_.Insert(x, y, weight);
+      }
+    }
     void InsertBatch(std::span<const Tuple> batch) override {
+      value_.InsertBatch(batch);
+    }
+    void InsertBatch(std::span<const WeightedTuple> batch) override {
       value_.InsertBatch(batch);
     }
     Status MergeFrom(const Interface& other) override {

@@ -47,7 +47,13 @@ CorrelatedF0Sketch::CorrelatedF0Sketch(const CorrelatedF0Options& options,
 }
 
 void CorrelatedF0Sketch::Insert(uint64_t x, uint64_t y) {
-  for (Instance& inst : instances_) InsertInto(inst, x, y);
+  for (Instance& inst : instances_) InsertInto(inst, x, y, /*multiple=*/false);
+}
+
+void CorrelatedF0Sketch::Insert(uint64_t x, uint64_t y, uint64_t count) {
+  if (count == 0) return;
+  const bool multiple = count > 1;
+  for (Instance& inst : instances_) InsertInto(inst, x, y, multiple);
 }
 
 void CorrelatedF0Sketch::InsertBatch(std::span<const Tuple> batch) {
@@ -56,11 +62,21 @@ void CorrelatedF0Sketch::InsertBatch(std::span<const Tuple> batch) {
   // equivalent to interleaved insertion while touching one instance's hash
   // tables at a time.
   for (Instance& inst : instances_) {
-    for (const Tuple& t : batch) InsertInto(inst, t.x, t.y);
+    for (const Tuple& t : batch) InsertInto(inst, t.x, t.y, /*multiple=*/false);
   }
 }
 
-void CorrelatedF0Sketch::InsertInto(Instance& inst, uint64_t x, uint64_t y) {
+void CorrelatedF0Sketch::InsertBatch(std::span<const WeightedTuple> batch) {
+  for (Instance& inst : instances_) {
+    for (const WeightedTuple& t : batch) {
+      if (t.weight <= 0) continue;
+      InsertInto(inst, t.x, t.y, /*multiple=*/t.weight > 1);
+    }
+  }
+}
+
+void CorrelatedF0Sketch::InsertInto(Instance& inst, uint64_t x, uint64_t y,
+                                    bool multiple) {
   // Item x participates in levels 0 .. HashLevel(h(x)): level l is a
   // 2^-l-rate sample of the identifier universe.
   const uint64_t h = MixHash64(x, inst.hash_seed);
@@ -77,7 +93,9 @@ void CorrelatedF0Sketch::InsertInto(Instance& inst, uint64_t x, uint64_t y) {
       if (y < e.y_min) {
         level.by_y.erase({e.y_min, x});
         level.by_y.emplace(std::make_pair(y, x), x);
-        if (track_second_) e.y_second = e.y_min;
+        // With >= 2 adjacent copies of (x, y), the second copy would
+        // immediately lower the second-occurrence value to y as well.
+        if (track_second_) e.y_second = multiple ? y : e.y_min;
         e.y_min = y;
       } else if (track_second_ && y < e.y_second) {
         e.y_second = y;
@@ -85,9 +103,11 @@ void CorrelatedF0Sketch::InsertInto(Instance& inst, uint64_t x, uint64_t y) {
       continue;
     }
 
-    // New identifier at this level.
+    // New identifier at this level. A coalesced multiplicity >= 2 seeds the
+    // second-occurrence value too, exactly as adjacent repeats would.
+    const uint64_t second = track_second_ && multiple ? y : UINT64_MAX;
     if (level.by_x.size() < alpha_) {
-      level.by_x.emplace(x, Entry{y, UINT64_MAX});
+      level.by_x.emplace(x, Entry{y, second});
       level.by_y.emplace(std::make_pair(y, x), x);
       continue;
     }
@@ -103,7 +123,7 @@ void CorrelatedF0Sketch::InsertInto(Instance& inst, uint64_t x, uint64_t y) {
     level.y_threshold = std::min(level.y_threshold, max_it->first.first);
     level.by_x.erase(evicted_x);
     level.by_y.erase(max_it);
-    level.by_x.emplace(x, Entry{y, UINT64_MAX});
+    level.by_x.emplace(x, Entry{y, second});
     level.by_y.emplace(std::make_pair(y, x), x);
   }
 }

@@ -76,6 +76,14 @@ class CorrelatedF0Sketch {
   /// \brief Observes tuple (x, y). Expected O(1) levels touched.
   void Insert(uint64_t x, uint64_t y);
 
+  /// \brief Observes `count` adjacent occurrences of (x, y): exactly
+  /// equivalent to calling Insert(x, y) count times in a row (the first copy
+  /// sets / improves the minimum occurrence value, the second saturates the
+  /// second-occurrence value, further copies are no-ops). count == 0 is a
+  /// no-op. Counts are multiplicities — this is what the hot-key coalescing
+  /// front end produces — so there is no negative-weight form.
+  void Insert(uint64_t x, uint64_t y, uint64_t count);
+
   /// \brief Batched ingest, exactly equivalent to one-at-a-time Insert in
   /// batch order: repetitions are independent, so the batch is run through
   /// one repetition at a time, keeping that repetition's levels (and the
@@ -84,6 +92,11 @@ class CorrelatedF0Sketch {
   void InsertBatch(std::initializer_list<Tuple> batch) {
     InsertBatch(std::span<const Tuple>(batch.begin(), batch.size()));
   }
+
+  /// \brief Weighted batched ingest: each row is `weight` adjacent
+  /// occurrences of its (x, y) (see Insert(x, y, count)); rows with
+  /// weight <= 0 are skipped.
+  void InsertBatch(std::span<const WeightedTuple> batch);
 
   /// \brief Merges another summary built with the same options and seed into
   /// this one, so queries answer over the union of both streams. Per level:
@@ -158,7 +171,9 @@ class CorrelatedF0Sketch {
     std::vector<Level> levels;
   };
 
-  void InsertInto(Instance& inst, uint64_t x, uint64_t y);
+  /// \brief `multiple` means at least two adjacent copies of (x, y): the
+  /// second copy saturates the tracked second-occurrence value at y.
+  void InsertInto(Instance& inst, uint64_t x, uint64_t y, bool multiple);
   void MergeLevelFrom(Level& dst, const Level& src);
   /// \brief Level-l count of entries with y <= c, or error if incomplete.
   Result<double> QueryInstance(const Instance& inst, uint64_t c,
@@ -178,7 +193,16 @@ class CorrelatedRaritySketch {
       : inner_(options, seed, /*track_second_occurrence=*/true) {}
 
   void Insert(uint64_t x, uint64_t y) { inner_.Insert(x, y); }
+  /// \brief `count` adjacent occurrences of (x, y); exactly equivalent to
+  /// count repeated Insert calls (rarity tracks the two smallest occurrence
+  /// values, so the second copy matters here).
+  void Insert(uint64_t x, uint64_t y, uint64_t count) {
+    inner_.Insert(x, y, count);
+  }
   void InsertBatch(std::span<const Tuple> batch) { inner_.InsertBatch(batch); }
+  void InsertBatch(std::span<const WeightedTuple> batch) {
+    inner_.InsertBatch(batch);
+  }
   /// \brief Merges another rarity summary (same options and seed); both the
   /// minimum and second-minimum occurrence values merge exactly.
   Status MergeFrom(const CorrelatedRaritySketch& other) {

@@ -1,0 +1,164 @@
+// Per-writer hot-key pre-aggregation (the ElasticSketch-style "heavy part"
+// in front of the shard queues).
+//
+// Skewed streams hand the same (x, y) tuple to a writer over and over; under
+// Zipf-like key draws a handful of keys account for most of the volume. The
+// HotKeyBuffer is a small open-addressed table that coalesces adjacent-ish
+// repeats of one (x, y) pair into a single weighted tuple before it ever
+// touches a batch buffer, a queue, or a summary: k unit inserts of (x, y)
+// leave the buffer as one WeightedTuple{x, y, k}. The downstream summaries'
+// weighted ingest paths make that exact for the linear kinds (F2 / Fk /
+// heavy hitters add w to x's aggregate exactly like w unit inserts) and
+// multiplicity-exact for the sampling kinds (F0 / rarity treat w as w
+// adjacent copies — see CorrelatedF0Sketch::Insert(x, y, count)).
+//
+// What coalescing does change is *emission order*: a tuple parked in the
+// buffer is emitted at eviction or drain time, after tuples that arrived
+// later. Every emission order is a valid stream order, so (eps, delta)
+// guarantees are unaffected, but driver answers with coalescing enabled are
+// not bit-for-bit equal to the uncoalesced ones — which is why
+// ShardedDriverOptions::writer_coalesce_slots defaults to 0 (off). The
+// buffer itself is fully deterministic given (slots, seed): the
+// coalesced-equivalence test replays an identical side-by-side buffer to
+// build its oracle.
+//
+// Mechanics: slot count rounds up to a power of two; an insert linearly
+// probes kProbeLimit slots from the (x, y) hash. A matching occupied slot
+// accumulates the weight (the hit path — no emission); an empty slot parks
+// the tuple; if every probed slot holds a *different* key, the first probed
+// slot is emitted and recycled (bounded displacement, no long probe chains).
+// Flush/Serialize boundaries call Drain, which emits every parked tuple in
+// slot order and empties the table — nothing is ever held across a drain.
+#ifndef CASTREAM_DRIVER_HOT_KEY_BUFFER_H_
+#define CASTREAM_DRIVER_HOT_KEY_BUFFER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bit_util.h"
+#include "src/hash/hash_family.h"
+#include "src/stream/types.h"
+
+namespace castream {
+
+class HotKeyBuffer {
+ public:
+  /// \brief Fixed by default so independent buffers with equal slot counts
+  /// evolve identically (what the equivalence test's oracle relies on).
+  static constexpr uint64_t kDefaultSeed = 0x7e57c0a1e5ceULL;
+  static constexpr uint32_t kProbeLimit = 4;
+
+  /// \brief `slots` == 0 builds a disabled buffer (every Insert emits
+  /// immediately); nonzero rounds up to a power of two.
+  explicit HotKeyBuffer(size_t slots, uint64_t seed = kDefaultSeed)
+      : seed_(seed) {
+    if (slots > 0) {
+      slots_.resize(NextPow2(std::max<uint64_t>(slots, kProbeLimit)));
+      mask_ = slots_.size() - 1;
+    }
+  }
+
+  bool enabled() const { return !slots_.empty(); }
+
+  /// \brief Observes (x, y, w); calls emit(const WeightedTuple&) zero or one
+  /// time (zero when the tuple was parked or coalesced into a parked one).
+  template <typename Emit>
+  void Insert(uint64_t x, uint64_t y, int64_t w, Emit&& emit) {
+    ++tuples_in_;
+    if (slots_.empty()) {
+      ++tuples_out_;
+      emit(WeightedTuple{x, y, w});
+      return;
+    }
+    const size_t start = static_cast<size_t>(
+        MixHash64(x ^ MixHash64(y, seed_ + 1), seed_));
+    for (uint32_t p = 0; p < kProbeLimit; ++p) {
+      Slot& slot = slots_[(start + p) & mask_];
+      if (!slot.used) {
+        slot = Slot{x, y, w, true};
+        return;
+      }
+      if (slot.x == x && slot.y == y) {
+        slot.w += w;
+        ++coalesced_;
+        return;
+      }
+    }
+    // All probed slots hold other keys: evict the lightest one (hot pairs
+    // keep their seat — the ElasticSketch rule, which is what lets the
+    // table's hit rate track the skew instead of the arrival order), emit
+    // it, and park the newcomer.
+    size_t victim = start & mask_;
+    for (uint32_t p = 1; p < kProbeLimit; ++p) {
+      const size_t idx = (start + p) & mask_;
+      if (Heat(slots_[idx].w) < Heat(slots_[victim].w)) victim = idx;
+    }
+    Slot& out = slots_[victim];
+    ++tuples_out_;
+    ++evictions_;
+    emit(WeightedTuple{out.x, out.y, out.w});
+    out = Slot{x, y, w, true};
+  }
+
+  /// \brief Emits every parked tuple in slot order and empties the table.
+  /// Must run at every flush/serialize boundary — a partial buffer drains
+  /// completely, so no tuple is ever invisible to a post-flush query.
+  template <typename Emit>
+  void Drain(Emit&& emit) {
+    for (Slot& slot : slots_) {
+      if (!slot.used) continue;
+      ++tuples_out_;
+      emit(WeightedTuple{slot.x, slot.y, slot.w});
+      slot.used = false;
+    }
+  }
+
+  /// \brief Parked tuples currently in the table.
+  size_t pending() const {
+    size_t n = 0;
+    for (const Slot& slot : slots_) n += slot.used ? 1 : 0;
+    return n;
+  }
+
+  // ---- Coalescing stats (monotone over the buffer's lifetime) --------------
+
+  /// \brief Tuples observed by Insert.
+  uint64_t tuples_in() const { return tuples_in_; }
+  /// \brief Tuples emitted (evictions + drains + disabled passthrough).
+  uint64_t tuples_out() const { return tuples_out_; }
+  /// \brief Inserts absorbed into an already-parked slot — the downstream
+  /// work avoided.
+  uint64_t coalesced() const { return coalesced_; }
+  /// \brief Emissions forced by probe-window collisions.
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Slot {
+    uint64_t x = 0;
+    uint64_t y = 0;
+    int64_t w = 0;
+    bool used = false;
+  };
+
+  /// \brief A slot's eviction priority: accumulated magnitude (turnstile
+  /// streams carry negative weights; a heavily-decremented pair is just as
+  /// hot as a heavily-incremented one).
+  static uint64_t Heat(int64_t w) {
+    return w < 0 ? static_cast<uint64_t>(-(w + 1)) + 1
+                 : static_cast<uint64_t>(w);
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  uint64_t seed_;
+  uint64_t tuples_in_ = 0;
+  uint64_t tuples_out_ = 0;
+  uint64_t coalesced_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace castream
+
+#endif  // CASTREAM_DRIVER_HOT_KEY_BUFFER_H_

@@ -77,6 +77,7 @@
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/driver/bounded_queue.h"
+#include "src/driver/hot_key_buffer.h"
 #include "src/driver/merge_cache.h"
 #include "src/hash/hash_family.h"
 #include "src/stream/types.h"
@@ -90,6 +91,9 @@ namespace castream {
 template <typename S>
 concept ShardableSummary = requires(S s, const S& cs) {
   s.InsertBatch(std::span<const Tuple>{});
+  // The shard queues carry weighted rows (so the hot-key coalescing front
+  // end can ship multiplicities); weight-1 rows are exactly unit inserts.
+  s.InsertBatch(std::span<const WeightedTuple>{});
   { s.MergeFrom(cs) } -> std::same_as<Status>;
 };
 
@@ -142,6 +146,14 @@ struct ShardedDriverOptions {
   /// Seed of the x -> shard hash. All participants of one logical stream
   /// must agree on it (it defines the partition).
   uint64_t shard_seed = 0x5ca1ab1e0ddba11ULL;
+  /// Per-writer hot-key pre-aggregation (src/driver/hot_key_buffer.h):
+  /// nonzero gives every Writer a coalescing table of this many slots
+  /// (rounded up to a power of two), so repeats of one (x, y) reach the
+  /// shard queues as a single weighted row. 0 (the default) disables it,
+  /// preserving the bit-for-bit single-writer equivalence contract —
+  /// coalescing reorders emissions, which is answer-valid (any emission
+  /// order is a stream order) but not bit-identical.
+  size_t writer_coalesce_slots = 0;
 };
 
 /// \brief Runs S identically-configured summaries as shards of one logical
@@ -178,10 +190,11 @@ class ShardedDriver {
             // shard at a batch boundary (a consistent summary state)
             // instead of racing mid-insert.
             std::lock_guard<std::mutex> lock(sp->summary_mu);
-            sp->summary.InsertBatch(std::span<const Tuple>(*batch));
+            sp->summary.InsertBatch(std::span<const WeightedTuple>(*batch));
             ++sp->batches_ingested;
           }
           sp->processed.fetch_add(batch->size(), std::memory_order_relaxed);
+          ReturnBuffer(std::move(*batch));
           // Copy-on-publish only once someone has asked for snapshots
           // (~20% of ingest throughput at the default interval; a stream
           // that is never snapshot-queried shouldn't pay it). The counter
@@ -218,13 +231,50 @@ class ShardedDriver {
   class Writer {
    public:
     explicit Writer(ShardedDriver& driver)
-        : driver_(driver), pending_(driver.shards_.size()) {
+        : driver_(driver), pending_(driver.shards_.size()),
+          coalescer_(driver.options_.writer_coalesce_slots) {
       for (auto& buf : pending_) buf.reserve(driver_.options_.batch_size);
     }
 
-    void Insert(uint64_t x, uint64_t y) { Insert(Tuple{x, y}); }
+    void Insert(uint64_t x, uint64_t y) { Insert(x, y, 1); }
+    void Insert(const Tuple& t) { Insert(t.x, t.y, 1); }
+    void Insert(const WeightedTuple& t) { Insert(t.x, t.y, t.weight); }
 
-    void Insert(const Tuple& t) {
+    /// \brief Weighted insert. With coalescing enabled the row may be parked
+    /// in the hot-key table and emitted later (at eviction, or at Flush);
+    /// otherwise it is staged for its shard immediately.
+    void Insert(uint64_t x, uint64_t y, int64_t weight) {
+      if (coalescer_.enabled()) {
+        coalescer_.Insert(x, y, weight,
+                          [this](const WeightedTuple& t) { Stage(t); });
+      } else {
+        Stage(WeightedTuple{x, y, weight});
+      }
+    }
+
+    void InsertBatch(std::span<const Tuple> batch) {
+      for (const Tuple& t : batch) Insert(t);
+    }
+    void InsertBatch(std::span<const WeightedTuple> batch) {
+      for (const WeightedTuple& t : batch) Insert(t);
+    }
+
+    /// \brief Drains the hot-key table, then hands every partially-filled
+    /// buffer to the shard queues. Does not wait for processing; call the
+    /// driver's Flush/WaitIdle for that.
+    void Flush() {
+      coalescer_.Drain([this](const WeightedTuple& t) { Stage(t); });
+      for (uint32_t s = 0; s < pending_.size(); ++s) {
+        if (!pending_[s].empty()) driver_.Dispatch(s, pending_[s]);
+      }
+    }
+
+    /// \brief This writer's hot-key coalescing stats (all zero when
+    /// writer_coalesce_slots == 0).
+    const HotKeyBuffer& coalescer() const { return coalescer_; }
+
+   private:
+    void Stage(const WeightedTuple& t) {
       const uint32_t s = driver_.ShardOf(t.x);
       pending_[s].push_back(t);
       if (pending_[s].size() >= driver_.options_.batch_size) {
@@ -232,21 +282,9 @@ class ShardedDriver {
       }
     }
 
-    void InsertBatch(std::span<const Tuple> batch) {
-      for (const Tuple& t : batch) Insert(t);
-    }
-
-    /// \brief Hands every partially-filled buffer to the shard queues. Does
-    /// not wait for processing; call the driver's Flush/WaitIdle for that.
-    void Flush() {
-      for (uint32_t s = 0; s < pending_.size(); ++s) {
-        if (!pending_[s].empty()) driver_.Dispatch(s, pending_[s]);
-      }
-    }
-
-   private:
     ShardedDriver& driver_;
-    std::vector<std::vector<Tuple>> pending_;
+    std::vector<std::vector<WeightedTuple>> pending_;
+    HotKeyBuffer coalescer_;
   };
 
   Writer MakeWriter() { return Writer(*this); }
@@ -255,7 +293,14 @@ class ShardedDriver {
   // thread-safe against itself; concurrent producers use MakeWriter.
   void Insert(uint64_t x, uint64_t y) { default_writer_->Insert(x, y); }
   void Insert(const Tuple& t) { default_writer_->Insert(t); }
+  void Insert(uint64_t x, uint64_t y, int64_t weight) {
+    default_writer_->Insert(x, y, weight);
+  }
+  void Insert(const WeightedTuple& t) { default_writer_->Insert(t); }
   void InsertBatch(std::span<const Tuple> batch) {
+    default_writer_->InsertBatch(batch);
+  }
+  void InsertBatch(std::span<const WeightedTuple> batch) {
     default_writer_->InsertBatch(batch);
   }
 
@@ -512,7 +557,7 @@ class ShardedDriver {
     Summary summary;         // live; mutated only by the worker thread
     std::mutex summary_mu;   // held per batch by the worker, by publishes
     uint64_t batches_ingested = 0;  // guarded by summary_mu
-    BoundedQueue<std::vector<Tuple>> queue;
+    BoundedQueue<std::vector<WeightedTuple>> queue;
     std::thread worker;
     std::atomic<uint64_t> processed{0};
 
@@ -571,11 +616,40 @@ class ShardedDriver {
 
   /// \brief Moves a full buffer into shard s's queue (blocking on
   /// backpressure) and leaves `buffer` empty with its capacity reusable.
-  void Dispatch(uint32_t s, std::vector<Tuple>& buffer) {
-    std::vector<Tuple> batch;
-    batch.reserve(options_.batch_size);
+  /// The replacement capacity comes from the batch pool — vectors the shard
+  /// workers already ingested and returned — so steady-state dispatch
+  /// performs no allocation (it used to heap-allocate a fresh
+  /// batch_size-capacity vector per batch).
+  void Dispatch(uint32_t s, std::vector<WeightedTuple>& buffer) {
+    std::vector<WeightedTuple> batch = AcquireBuffer();
     batch.swap(buffer);
     shards_[s]->queue.Push(std::move(batch));
+  }
+
+  /// \brief A cleared buffer from the pool, or a freshly reserved one when
+  /// the pool is empty (cold start, or more writers than pooled buffers).
+  std::vector<WeightedTuple> AcquireBuffer() {
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      if (!buffer_pool_.empty()) {
+        std::vector<WeightedTuple> b = std::move(buffer_pool_.back());
+        buffer_pool_.pop_back();
+        return b;
+      }
+    }
+    std::vector<WeightedTuple> b;
+    b.reserve(options_.batch_size);
+    return b;
+  }
+
+  /// \brief Recycles an ingested batch's storage. Capped so a burst can
+  /// never pin more than roughly the queues' worth of buffers.
+  void ReturnBuffer(std::vector<WeightedTuple>&& b) {
+    b.clear();
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (buffer_pool_.size() < buffer_pool_cap_) {
+      buffer_pool_.push_back(std::move(b));
+    }
   }
 
   ShardedDriverOptions options_;
@@ -590,6 +664,14 @@ class ShardedDriver {
   PrefixMergeCache<Summary> merge_cache_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<Writer> default_writer_;
+
+  // Free list of batch vectors cycling writer -> queue -> worker -> pool.
+  // Bounded by (queues full + one in flight per shard + one per dispatcher);
+  // beyond that, returned buffers are simply freed.
+  std::mutex pool_mu_;
+  std::vector<std::vector<WeightedTuple>> buffer_pool_;
+  const size_t buffer_pool_cap_ =
+      options_.shards * (options_.queue_capacity + 2);
 
   /// Idle-shard nudge cadence: bounds the extra staleness of a shard whose
   /// ingest went quiet, and bounds nudge publish work to ~10 passes/s no

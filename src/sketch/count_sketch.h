@@ -15,8 +15,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "src/common/bit_util.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/hash/row_hasher.h"
@@ -48,6 +50,19 @@ class CountSketchFactory {
   }
   void Prehash(uint64_t x, RowHashSet::PreHashed& out) const {
     hashes_->Prehash(x, out);
+  }
+
+  /// \brief Bulk pre-hash (see RowHashSet::PreHashBatch).
+  void PrehashBatch(std::span<const uint64_t> xs,
+                    RowHashSet::PreHashed* out) const {
+    hashes_->PreHashBatch(xs, out);
+  }
+
+  /// \brief Accessor-form bulk pre-hash for strided outputs (see
+  /// RowHashSet::PreHashBatchTo).
+  template <typename OutAt>
+  void PrehashBatchTo(std::span<const uint64_t> xs, OutAt at) const {
+    hashes_->PreHashBatchTo(xs.data(), xs.size(), at);
   }
 
   uint32_t depth() const { return hashes_->depth(); }
@@ -102,6 +117,19 @@ class CountSketch {
       return;
     }
     InsertDense(ph, weight);
+  }
+
+  /// \brief Warms the cache lines a subsequent Insert(ph, w) will touch;
+  /// purely advisory (see AmsF2Sketch::PrefetchInsert).
+  void PrefetchInsert(const RowHashSet::PreHashed& ph) const {
+    if (!counters_.has_value()) {
+      if (!sparse_.empty()) CASTREAM_PREFETCH(sparse_.data());
+      return;
+    }
+    const uint32_t covered = std::min<uint32_t>(ph.depth, counters_->depth());
+    for (uint32_t d = 0; d < covered; ++d) {
+      CASTREAM_PREFETCH_WRITE(counters_->CellAddr(d, ph.bucket[d]));
+    }
   }
 
   /// \brief Estimate of item x's frequency (exact while sparse).

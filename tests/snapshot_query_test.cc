@@ -40,6 +40,9 @@ struct CountSummary {
   uint64_t count = 0;
 
   void InsertBatch(std::span<const Tuple> batch) { count += batch.size(); }
+  void InsertBatch(std::span<const WeightedTuple> batch) {
+    count += batch.size();
+  }
   [[nodiscard]] Status MergeFrom(const CountSummary& other) {
     count += other.count;
     return Status::OK();
@@ -64,6 +67,11 @@ struct GatedSummary {
   uint64_t count = 0;
 
   void InsertBatch(std::span<const Tuple> batch) {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->cv.wait(lock, [this] { return gate->open; });
+    count += batch.size();
+  }
+  void InsertBatch(std::span<const WeightedTuple> batch) {
     std::unique_lock<std::mutex> lock(gate->mu);
     gate->cv.wait(lock, [this] { return gate->open; });
     count += batch.size();
