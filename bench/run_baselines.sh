@@ -10,8 +10,10 @@
 # plus bench_sharded_ingest (the sharded-driver aggregate-throughput matrix)
 # plus bench_serialize (wire-format encode/decode bytes-per-second) plus
 # bench_snapshot_query (query serving rates, blocking vs snapshot) plus
-# bench_zipf_ingest (trace-shaped columnar/coalesced ingest; the
-# extras are skipped with a note if the binary is missing) and merges the
+# bench_zipf_ingest (trace-shaped columnar/coalesced ingest) plus
+# bench_merge_scaling (tree vs linear re-merge cost under single-shard
+# churn; the extras are skipped with a note if the binary is missing) and
+# merges the
 # results into OUT_JSON via bench/merge_baseline.py, which refreshes the
 # "current" section and the machine context while preserving the frozen
 # "seed" section (the pre-optimization numbers that speedup claims are
@@ -34,7 +36,7 @@ cleanup() { rm -f "${RUNS[@]}"; }
 trap cleanup EXIT
 
 for bench in bench_update_throughput bench_sharded_ingest bench_serialize \
-             bench_snapshot_query bench_zipf_ingest; do
+             bench_snapshot_query bench_zipf_ingest bench_merge_scaling; do
   BIN="$BUILD_DIR/$bench"
   if [ ! -x "$BIN" ]; then
     echo "note: $BIN not built; skipping it in this capture" >&2

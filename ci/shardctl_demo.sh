@@ -27,7 +27,16 @@ REDUCER=${REDUCE_BIN:-$BIN}
 SHARDS=3
 mkdir -p "$DIR"
 
-for kind in f2 f0 rarity hh; do
+# The kind list comes from the binary's registry (`kinds` prints one name
+# per line plus its wire tag), so a newly registered summary type is
+# covered here without edits.
+KINDS=$("$BIN" kinds | awk '{print $1}')
+if [ -z "$KINDS" ]; then
+  echo "FAIL: '$BIN kinds' printed no registered kinds" >&2
+  exit 1
+fi
+
+for kind in $KINDS; do
   blobs=()
   for i in $(seq 0 $((SHARDS - 1))); do
     "$BIN" worker --kind "$kind" --shards "$SHARDS" --shard "$i" \

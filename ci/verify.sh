@@ -106,7 +106,7 @@ if [ "$BUILD_TYPE" = "Release" ] && [ -z "$SANITIZE" ]; then
   SMOKE_OUT=${BENCH_SMOKE_OUT:-bench_smoke.txt}
   : > "$SMOKE_OUT"
   for bench in bench_update_throughput bench_sharded_ingest bench_serialize \
-               bench_snapshot_query bench_zipf_ingest; do
+               bench_snapshot_query bench_zipf_ingest bench_merge_scaling; do
     if [ -x "./$bench" ]; then
       echo "== bench smoke ($bench) =="
       "./$bench" --benchmark_min_time=0.05 2>&1 | tee -a "$SMOKE_OUT"

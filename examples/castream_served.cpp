@@ -15,8 +15,9 @@
 //   castream_served oracle --kind f2 --workers 2   # ground truth
 //
 // The demo stream is deterministic from --stream-seed, and the reducer
-// merges its (worker, shard) table in key order, so `oracle` — the same
-// split, serial ingest, and in-order merge done in one process with no
+// folds its (worker, shard) table, in key order, through the
+// deterministic MergeCache engine, so `oracle` — the same split, serial
+// ingest, and the same engine-and-policy fold done in one process with no
 // wire — must print the *identical* cutoff ladder (bit-for-bit, %.17g)
 // once every worker's final snapshots have landed. ci/served_demo.sh
 // drives exactly that, plus the failure drills: killed and restarted
@@ -90,10 +91,11 @@ void Usage() {
       "  castream_served query  --port P [--y-max Y]\n"
       "  castream_served oracle --kind K --workers N [--driver-shards S]\n"
       "                         [stream flags]\n"
-      "kinds: f2 | f0 | rarity | hh\n"
+      "kinds: %s\n"
       "All processes of one run must agree on --kind, --seed, and the\n"
       "stream flags; `oracle` then prints the exact ladder `query` must\n"
-      "show once the workers' final snapshots have landed.\n");
+      "show once the workers' final snapshots have landed.\n",
+      SummaryRegistry::KindNamesForDisplay(" | ").c_str());
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -348,10 +350,16 @@ int RunQuery(const Args& args) {
 }
 
 // Ground truth: the same (worker, shard) split, serial ingest in arrival
-// order, and merge in (worker, shard) key order — everything the fleet
-// does, in one process, with no wire. InsertBatch equals serial inserts
-// exactly and MergeFrom is deterministic, so any textual deviation from
-// `query` (after final publishes) is a service bug.
+// order, and the same merge engine the reducer runs — everything the
+// fleet does, in one process, with no wire. InsertBatch equals serial
+// inserts exactly and the MergeCache fold is deterministic, so any
+// textual deviation from `query` (after final publishes) is a service
+// bug. Two details make the replay exact: the fold goes through
+// MergeCache under the reducer's default tree policy (tree shape affects
+// bucket-closing timing, so a plain serial fold would not be
+// bit-identical), and slots that received zero tuples are excluded — a
+// worker never publishes an epoch-0 shard, so such slots have no table
+// entry at the reducer and must not widen the oracle's tree either.
 int RunOracle(const Args& args) {
   const size_t slots = size_t{args.workers} * args.driver_shards;
   const uint64_t driver_shard_seed = ShardedDriverOptions{}.shard_seed;
@@ -367,35 +375,46 @@ int RunOracle(const Args& args) {
   }
   std::vector<std::vector<Tuple>> buffers(slots);
   for (auto& buf : buffers) buf.reserve(1024);
+  std::vector<uint64_t> tuples_per_slot(slots, 0);
   UniformGenerator gen(args.x_domain, args.y_max, args.stream_seed);
   for (uint64_t i = 0; i < args.count; ++i) {
     const Tuple t = gen.Next();
     const uint32_t w = WorkerOf(t.x, args.workers);
     const uint32_t s = static_cast<uint32_t>(
         MixHash64(t.x, driver_shard_seed) % args.driver_shards);
-    auto& buf = buffers[size_t{w} * args.driver_shards + s];
+    const size_t slot = size_t{w} * args.driver_shards + s;
+    auto& buf = buffers[slot];
     buf.push_back(t);
+    ++tuples_per_slot[slot];
     if (buf.size() == buf.capacity()) {
-      parts[size_t{w} * args.driver_shards + s].InsertBatch(buf);
+      parts[slot].InsertBatch(buf);
       buf.clear();
     }
   }
   for (size_t i = 0; i < slots; ++i) parts[i].InsertBatch(buffers[i]);
 
-  auto merged = MakeSummary(args.kind, OptionsFor(args), args.summary_seed);
+  // Fold the published (nonempty) slots, in (worker, shard) key order,
+  // through the reducer's engine and policy.
+  std::vector<std::shared_ptr<const AnySummary>> snaps;
+  std::vector<uint64_t> seqs;
+  for (size_t i = 0; i < slots; ++i) {
+    if (tuples_per_slot[i] == 0) continue;
+    snaps.push_back(
+        std::make_shared<const AnySummary>(std::move(parts[i])));
+    seqs.push_back(seqs.size() + 1);
+  }
+  MergeCache<AnySummary> cache([&args] {
+    return MakeSummary(args.kind, OptionsFor(args), args.summary_seed)
+        .value();
+  });
+  auto merged = cache.Merge(snaps, seqs);
   if (!merged.ok()) {
-    std::fprintf(stderr, "oracle: %s\n", merged.status().ToString().c_str());
+    std::fprintf(stderr, "oracle: merging %zu slots: %s\n", snaps.size(),
+                 merged.status().ToString().c_str());
     return 1;
   }
-  for (size_t i = 0; i < slots; ++i) {
-    if (Status st = merged.value().MergeFrom(parts[i]); !st.ok()) {
-      std::fprintf(stderr, "oracle: merging slot %zu: %s\n", i,
-                   st.ToString().c_str());
-      return 1;
-    }
-  }
   for (uint64_t c : CutoffLadder(args.y_max)) {
-    PrintLadderLine(c, merged.value().Query(c));
+    PrintLadderLine(c, merged.value()->Query(c));
   }
   return 0;
 }

@@ -76,6 +76,8 @@ struct Args {
 };
 
 void Usage() {
+  // The kinds line comes from the registry, so a newly registered summary
+  // type shows up here without edits.
   std::fprintf(
       stderr,
       "usage:\n"
@@ -86,11 +88,12 @@ void Usage() {
       "  castream_shardctl reduce --kind K [--verify] [stream flags] "
       "BLOB...\n"
       "  castream_shardctl stats --kind K [--shards N] [stream flags]\n"
-      "kinds: f2 | f0 | rarity | hh\n"
+      "kinds: %s\n"
       "stats: ingest the demo stream through an in-process ShardedDriver\n"
       "       and serve non-blocking snapshot queries while it runs,\n"
       "       then report shard epochs / merge reuse and check that the\n"
-      "       post-flush snapshot answers equal the blocking ones.\n");
+      "       post-flush snapshot answers equal the blocking ones.\n",
+      SummaryRegistry::KindNamesForDisplay(" | ").c_str());
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {

@@ -77,6 +77,22 @@ const SummaryRegistry::Entry* SummaryRegistry::FindByName(
   return nullptr;
 }
 
+std::vector<std::string_view> SummaryRegistry::ListKinds() {
+  std::vector<std::string_view> names;
+  names.reserve(kRegistry.size());
+  for (const Entry& e : kRegistry) names.push_back(e.name);
+  return names;
+}
+
+std::string SummaryRegistry::KindNamesForDisplay(std::string_view separator) {
+  std::string out;
+  for (const Entry& e : kRegistry) {
+    if (!out.empty()) out += separator;
+    out += e.name;
+  }
+  return out;
+}
+
 Result<AnySummary> AnySummary::Deserialize(std::span<const std::byte> bytes) {
   CASTREAM_ASSIGN_OR_RETURN(SummaryKind kind, io::PeekKind(bytes));
   const SummaryRegistry::Entry* entry = SummaryRegistry::Find(kind);
@@ -101,9 +117,9 @@ Result<AnySummary> MakeSummary(std::string_view kind_name,
   const SummaryRegistry::Entry* entry = SummaryRegistry::FindByName(kind_name);
   if (entry == nullptr) {
     return Status::InvalidArgument(
-        "MakeSummary: unknown summary kind name (expected f2, f0, rarity, "
-        "or hh): " +
-        std::string(kind_name));
+        "MakeSummary: unknown summary kind name '" + std::string(kind_name) +
+        "' (registered kinds: " + SummaryRegistry::KindNamesForDisplay() +
+        ")");
   }
   return entry->make(options, seed);
 }

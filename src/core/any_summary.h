@@ -304,6 +304,15 @@ class SummaryRegistry {
   static std::span<const Entry> Entries();
   static const Entry* Find(SummaryKind kind);
   static const Entry* FindByName(std::string_view name);
+
+  /// \brief The registered kind names in registry order ("f2", "f0", ...) —
+  /// the single source for usage strings, kind loops, and error messages,
+  /// so a fifth summary type shows up everywhere without edits.
+  static std::vector<std::string_view> ListKinds();
+
+  /// \brief The kind names joined for human-facing messages, e.g.
+  /// "f2, f0, rarity, hh" (ListKinds with the formatting done).
+  static std::string KindNamesForDisplay(std::string_view separator = ", ");
 };
 
 /// \brief Builds a summary of the given kind from the unified options; the

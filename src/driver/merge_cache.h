@@ -1,25 +1,49 @@
-// Epoch-keyed prefix-merge cache, shared by the in-process ShardedDriver
-// and the cross-process reducer (src/service/reducer.h).
+// Epoch-keyed incremental merge engine, shared by the in-process
+// ShardedDriver and the cross-process reducer (src/service/reducer.h).
 //
-// Both serve the same shape of query: "merge these S immutable snapshots,
-// in this fixed order, into one whole-stream summary" — where between two
-// queries only a few snapshots change. The cache memoizes
-// prefix[k] = empty summary merged with snapshots 0..k-1 (linear order),
-// keyed by each slot's publication epoch, and rebuilds from the *first*
-// slot whose epoch moved: a repeated query over unchanged snapshots costs
-// zero merges, and a change in only the high slots re-merges only that
-// suffix. Rebuilding always replays the same linear order with plain deep
-// copies, so answers stay bit-for-bit identical to merging the snapshots
-// serially — the invariant sharded_equivalence_test and
-// snapshot_incremental_merge_test pin for the driver, inherited verbatim
-// by the reducer (its oracle is the same serial merge).
+// Both serve the same shape of query: "merge these S immutable snapshots
+// into one whole-stream summary" — where between two queries only a few
+// snapshots change. The paper's summaries are mergeable by construction,
+// and merge *order* is an implementation detail (any order yields a valid
+// summary of the union stream with the same (eps, delta) guarantees), so
+// the engine offers two evaluation shapes behind one memo interface:
 //
-// Memory trade (deliberate, same as before the extraction): up to S cached
-// prefix copies on top of the S snapshots. Callers that cannot afford it
-// call Invalidate() between query bursts.
+//   * MergePolicy::kTree (the default): a binary merge tree. Leaves are
+//     the snapshots; each internal node memoizes the merge of its two
+//     children, keyed by the epochs of the leaves below it. When one
+//     snapshot changes, only the nodes on its root path are recomputed —
+//     O(log S) MergeFrom calls — instead of the O(S) a linear re-merge
+//     from the changed slot costs. A subtree with only one live child is
+//     aliased (no copy, no merge), so sparse tables stay cheap, and a
+//     repeated query over unchanged snapshots still costs zero merges.
+//
+//   * MergePolicy::kLinear: the historical prefix chain,
+//     prefix[k] = empty merged with snapshots 0..k-1 in slot order,
+//     rebuilt from the *first* stale slot. Answers are bit-for-bit
+//     identical to merging the snapshots serially — which is why this
+//     path is kept: it is the oracle the equivalence tests replay
+//     (tests/sharded_equivalence_test.cc), and the shape to pick when
+//     bit-reproducibility against a serial fold matters more than query
+//     latency.
+//
+// Both policies are deterministic: the same snapshot vector always yields
+// the same answer bit-for-bit *within* a policy. Across policies answers
+// are answer-equivalent — the same estimates up to the summaries'
+// (eps, delta) guarantees — but not bit-identical, because bucket-closing
+// and eviction timing inside a merge depends on merge order. The
+// driver/reducer query contract is therefore "answer-equivalent to the
+// linear serial merge", pinned by tests/merge_policy_test.cc (TrialsWithin
+// vs exact oracles) with kLinear as the test oracle.
+//
+// Memory trade (deliberate): kLinear pins up to S cached prefix copies;
+// kTree pins up to S-1 internal-node copies (aliased nodes are free).
+// Both sit on top of the S snapshots themselves. Callers that cannot
+// afford it call Invalidate() between query bursts. One MergeCache holds
+// both memos, but only the policies actually used materialize state.
 #ifndef CASTREAM_DRIVER_MERGE_CACHE_H_
 #define CASTREAM_DRIVER_MERGE_CACHE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <concepts>
 #include <cstdint>
@@ -34,6 +58,18 @@
 
 namespace castream {
 
+/// \brief How a MergeCache folds its snapshots into one summary.
+enum class MergePolicy : uint8_t {
+  /// Binary merge tree: O(log S) MergeFrom calls per changed snapshot.
+  /// The default everywhere; answers are deterministic but not bit-equal
+  /// to the serial fold.
+  kTree,
+  /// Linear prefix chain in slot order: O(S) MergeFrom calls from the
+  /// first changed slot, bit-for-bit equal to merging the snapshots
+  /// serially. The test oracle; default-off.
+  kLinear,
+};
+
 /// \brief Deep copy of a summary: the copy constructor where available,
 /// otherwise the explicit Clone() (AnySummary's move-only spelling).
 template <typename Summary>
@@ -46,44 +82,76 @@ Summary SummaryDeepCopy(const Summary& s) {
 }
 
 template <typename Summary>
-class PrefixMergeCache {
+class MergeCache {
  public:
-  /// \brief `make_empty` produces the zero-stream summary every merge chain
-  /// starts from; it must be mergeable with every snapshot handed to
-  /// Merge (same options and hash-family seed).
-  explicit PrefixMergeCache(std::function<Summary()> make_empty)
+  /// \brief `make_empty` produces the zero-stream summary merge chains
+  /// start from (and the answer when every slot is empty); it must be
+  /// mergeable with every snapshot handed to Merge (same options and
+  /// hash-family seed).
+  explicit MergeCache(std::function<Summary()> make_empty)
       : make_empty_(std::move(make_empty)) {}
 
-  PrefixMergeCache(const PrefixMergeCache&) = delete;
-  PrefixMergeCache& operator=(const PrefixMergeCache&) = delete;
+  MergeCache(const MergeCache&) = delete;
+  MergeCache& operator=(const MergeCache&) = delete;
 
-  /// \brief Merges snapshots 0..n-1 in order. snaps[i] == nullptr means
-  /// "slot never published" and contributes nothing (the prefix is
-  /// aliased). `epochs[i]` is slot i's publication epoch: equal epochs
-  /// must imply equal snapshot contents, which is what makes the memo
-  /// sound. A changed slot count (the reducer's table grows as workers
-  /// register) drops the whole memo and rebuilds.
+  /// \brief Merges snapshots 0..n-1 under the given policy. snaps[i] ==
+  /// nullptr means "slot never published" and contributes nothing (the
+  /// subtree or prefix is aliased past it). `epochs[i]` is slot i's
+  /// publication epoch: equal epochs must imply equal snapshot contents,
+  /// which is what makes the memo sound. A changed slot count (the
+  /// reducer's table grows as workers register) drops the affected memo
+  /// and rebuilds.
   Result<std::shared_ptr<const Summary>> Merge(
+      const std::vector<std::shared_ptr<const Summary>>& snaps,
+      const std::vector<uint64_t>& epochs,
+      MergePolicy policy = MergePolicy::kTree) {
+    // Concurrent callers serialize here; one that gathered its epochs just
+    // before a publish may rebuild the memo from a snapshot one epoch
+    // older than a racing caller merged. That only thrashes the cache (the
+    // next call re-merges) — every consistent snapshot vector is a valid
+    // whole-stream answer.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (policy == MergePolicy::kLinear) {
+      return MergeLinearLocked(snaps, epochs);
+    }
+    return MergeTreeLocked(snaps, epochs);
+  }
+
+  /// \brief Drops both memos; the next Merge rebuilds from scratch. Never
+  /// needed for correctness.
+  void Invalidate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    prefix_.clear();
+    prefix_epochs_.clear();
+    DropTreeLocked();
+  }
+
+  /// \brief Cumulative MergeFrom calls performed across both policies —
+  /// the "how incremental was it really" observable the regression tests
+  /// assert on.
+  uint64_t merges_performed() const {
+    return merges_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// \brief The historical linear prefix chain: prefix_[k] = empty merged
+  /// with slots 0..k-1 in order, rebuilt from the first slot whose epoch
+  /// moved. Bit-for-bit the serial merge.
+  Result<std::shared_ptr<const Summary>> MergeLinearLocked(
       const std::vector<std::shared_ptr<const Summary>>& snaps,
       const std::vector<uint64_t>& epochs) {
     const size_t count = snaps.size();
-    std::lock_guard<std::mutex> lock(mu_);
     if (prefix_.size() != count + 1) {
       // First use, post-Invalidate, or the slot set changed size: every
       // cached prefix is meaningless. The all-ones epoch sentinel can
       // never equal a real epoch, so every slot reads as stale.
       prefix_.assign(count + 1, nullptr);
-      merged_epochs_.assign(count, ~uint64_t{0});
-      prefix_[0] = std::make_shared<const Summary>(make_empty_());
+      prefix_epochs_.assign(count, kNeverMerged);
+      prefix_[0] = EmptyLocked();
     }
-    // Concurrent callers serialize here; one that gathered its epochs just
-    // before a publish may rebuild the cache from a snapshot one epoch
-    // older than a racing caller merged. That only thrashes the cache (the
-    // next call re-merges) — every consistent snapshot vector is a valid
-    // whole-stream answer.
     size_t first_stale = count;
     for (size_t s = 0; s < count; ++s) {
-      if (merged_epochs_[s] != epochs[s]) {
+      if (prefix_epochs_[s] != epochs[s]) {
         first_stale = s;
         break;
       }
@@ -92,40 +160,120 @@ class PrefixMergeCache {
       if (snaps[s] == nullptr) {
         prefix_[s + 1] = prefix_[s];
       } else {
-        auto next =
-            std::make_shared<Summary>(SummaryDeepCopy(*prefix_[s]));
+        auto next = std::make_shared<Summary>(SummaryDeepCopy(*prefix_[s]));
         CASTREAM_RETURN_NOT_OK(next->MergeFrom(*snaps[s]));
         merges_.fetch_add(1, std::memory_order_relaxed);
         prefix_[s + 1] = std::move(next);
       }
-      merged_epochs_[s] = epochs[s];
+      prefix_epochs_[s] = epochs[s];
     }
     return prefix_[count];
   }
 
-  /// \brief Drops the memo; the next Merge rebuilds from scratch. Never
-  /// needed for correctness.
-  void Invalidate() {
-    std::lock_guard<std::mutex> lock(mu_);
-    prefix_.clear();
-    merged_epochs_.clear();
+  /// \brief The binary merge tree. Implicit heap layout over a power-of-two
+  /// leaf row: node n's children are 2n and 2n+1, leaves for slots 0..S-1
+  /// sit at leaf_base_ + s, slots past S (and never-published slots) are
+  /// null and contribute nothing. A stale leaf dirties exactly its root
+  /// path; dirty nodes are recomputed children-first (descending index
+  /// order), each costing at most one MergeFrom — zero when a child is
+  /// null (the node aliases the live child's pointer).
+  Result<std::shared_ptr<const Summary>> MergeTreeLocked(
+      const std::vector<std::shared_ptr<const Summary>>& snaps,
+      const std::vector<uint64_t>& epochs) {
+    const size_t count = snaps.size();
+    if (count == 0) return EmptyLocked();
+    if (leaf_count_ != count) {
+      leaf_base_ = 1;
+      while (leaf_base_ < count) leaf_base_ <<= 1;
+      nodes_.assign(2 * leaf_base_, nullptr);
+      leaf_epochs_.assign(count, kNeverMerged);
+      leaf_count_ = count;
+    }
+    dirty_.clear();
+    for (size_t s = 0; s < count; ++s) {
+      if (leaf_epochs_[s] == epochs[s]) continue;
+      nodes_[leaf_base_ + s] = snaps[s];
+      leaf_epochs_[s] = epochs[s];
+      for (size_t n = (leaf_base_ + s) >> 1; n >= 1; n >>= 1) {
+        dirty_.push_back(n);
+      }
+    }
+    if (!dirty_.empty()) {
+      // Children-first: a child's index is strictly greater than its
+      // parent's, so descending order recomputes bottom-up; duplicates
+      // (shared path suffixes of several stale leaves) collapse to one
+      // recompute.
+      std::sort(dirty_.begin(), dirty_.end(), std::greater<size_t>());
+      dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
+      for (size_t n : dirty_) {
+        const std::shared_ptr<const Summary>& left = nodes_[2 * n];
+        const std::shared_ptr<const Summary>& right = nodes_[2 * n + 1];
+        if (left == nullptr) {
+          nodes_[n] = right;
+        } else if (right == nullptr) {
+          nodes_[n] = left;
+        } else {
+          auto merged = std::make_shared<Summary>(SummaryDeepCopy(*left));
+          if (Status st = merged->MergeFrom(*right); !st.ok()) {
+            // The leaf epochs above were already advanced; leaving them
+            // while their ancestors are stale would poison every later
+            // call. Drop the whole tree memo so the next Merge rebuilds.
+            DropTreeLocked();
+            return st;
+          }
+          merges_.fetch_add(1, std::memory_order_relaxed);
+          nodes_[n] = std::move(merged);
+        }
+      }
+    }
+    if (nodes_[1] == nullptr) return EmptyLocked();
+    return nodes_[1];
   }
 
-  /// \brief Cumulative MergeFrom calls performed — the "how incremental was
-  /// it really" observable the regression tests assert on.
-  uint64_t merges_performed() const {
-    return merges_.load(std::memory_order_relaxed);
+  void DropTreeLocked() {
+    nodes_.clear();
+    leaf_epochs_.clear();
+    leaf_base_ = 0;
+    leaf_count_ = 0;
   }
 
- private:
+  /// \brief The shared zero-stream summary (lazily built, immutable): the
+  /// answer when no slot ever published, and the linear chain's prefix[0].
+  std::shared_ptr<const Summary> EmptyLocked() {
+    if (empty_ == nullptr) {
+      empty_ = std::make_shared<const Summary>(make_empty_());
+    }
+    return empty_;
+  }
+
+  static constexpr uint64_t kNeverMerged = ~uint64_t{0};
+
   std::function<Summary()> make_empty_;
   std::mutex mu_;
-  // prefix_[k] = empty merged with slots 0..k-1; merged_epochs_[s] is the
-  // epoch prefix_[s+1] was built from; prefix_[count] is the answer.
+  std::shared_ptr<const Summary> empty_;
+
+  // Linear memo: prefix_[k] = empty merged with slots 0..k-1;
+  // prefix_epochs_[s] is the epoch prefix_[s+1] was built from.
   std::vector<std::shared_ptr<const Summary>> prefix_;
-  std::vector<uint64_t> merged_epochs_;
+  std::vector<uint64_t> prefix_epochs_;
+
+  // Tree memo: implicit heap of 2 * leaf_base_ nodes (index 0 unused,
+  // root at 1, leaves at leaf_base_ + s); leaf_epochs_[s] is the epoch
+  // leaf s was last refreshed at. dirty_ is scratch, kept to avoid a
+  // per-Merge allocation on the hot zero-change path.
+  std::vector<std::shared_ptr<const Summary>> nodes_;
+  std::vector<uint64_t> leaf_epochs_;
+  std::vector<size_t> dirty_;
+  size_t leaf_base_ = 0;
+  size_t leaf_count_ = 0;
+
   std::atomic<uint64_t> merges_{0};
 };
+
+/// \brief Historical name from when the engine was linear-only; the linear
+/// prefix chain lives on as MergePolicy::kLinear.
+template <typename Summary>
+using PrefixMergeCache = MergeCache<Summary>;
 
 }  // namespace castream
 

@@ -18,30 +18,40 @@
 //          and publishing an epoch-stamped snapshot every K batches
 //         -> query-time merge of the published snapshots.
 //
-// Two query paths share one merge engine:
+// One query entry point — Query(cutoff, QueryOptions) returning
+// QueryAnswer{estimate, epochs} — serves both execution modes through one
+// merge engine (the historical names Query(c) / SnapshotQuery(c) /
+// MergedSummary() / SnapshotSummary() remain as one-line forwarders):
 //
-//   * Query / MergedSummary (blocking): Flush() first — drain the queues,
-//     republish every changed shard — then merge the snapshots. The answer
-//     covers every tuple handed to the driver before the call.
-//   * SnapshotQuery / SnapshotSummary (non-blocking): merge the snapshots
-//     as they are. Never touches the shard queues or the live summaries, so
-//     it cannot block behind backpressured writers or a slow ingest batch;
-//     the answer is a valid whole-stream answer that is stale by at most
-//     the unpublished tail of each shard (bounded by snapshot_interval
-//     batches plus whatever sits in the queues). The first snapshot query
-//     arms the ingest threads' interval publication — pure-ingest
-//     pipelines never pay the copy-on-publish cost.
+//   * QueryMode::kBlocking: Flush() first — drain the queues, republish
+//     every changed shard — then merge the snapshots. The answer covers
+//     every tuple handed to the driver before the call.
+//   * QueryMode::kSnapshot: merge the snapshots as they are. Never touches
+//     the shard queues or the live summaries, so it cannot block behind
+//     backpressured writers or a slow ingest batch; the answer is a valid
+//     whole-stream answer that is stale by at most the unpublished tail of
+//     each shard (bounded by snapshot_interval batches plus whatever sits
+//     in the queues), and the returned per-shard epoch vector says exactly
+//     which publishes it covers — the same staleness observability TCP
+//     clients of the continuous service get in ServedAnswer. The first
+//     snapshot-mode query arms the ingest threads' interval publication —
+//     pure-ingest pipelines never pay the copy-on-publish cost.
 //
-// The merge engine memoizes per-shard prefix merges keyed by snapshot
-// epochs: prefix[k] = fresh summary merged with snapshots 0..k-1, rebuilt
-// from the *first* shard whose epoch advanced. A repeated query over a
-// quiescent driver reuses the cached result with zero shard merges, and
-// when only high-index shards changed the rebuild cost is proportional to
-// the changed suffix, not S. Rebuilding always replays the same linear
-// shard-order merge (prefix copies are plain deep copies), so answers are
-// bit-for-bit identical to merging the shards serially — the invariant
-// tests/sharded_equivalence_test.cc and tests/snapshot_incremental_merge_
-// test.cc pin down.
+// The merge engine (src/driver/merge_cache.h, shared with the
+// cross-process reducer) memoizes merges keyed by snapshot epochs under a
+// per-query MergePolicy. The default, MergePolicy::kTree, is a binary
+// merge tree: a change confined to one shard re-merges only that leaf's
+// root path — O(log S) MergeFrom calls — and a repeated query over a
+// quiescent driver reuses the cached root with zero merges.
+// MergePolicy::kLinear replays the historical prefix chain in shard order,
+// bit-for-bit equal to merging the shards serially; it costs O(S) from the
+// first changed shard and exists as the reproducibility/debugging oracle.
+// Across policies answers are answer-equivalent (same (eps, delta)
+// guarantees; merge order is an implementation detail of mergeable
+// summaries), not bit-identical — the contract
+// tests/merge_policy_test.cc pins with TrialsWithin against exact oracles,
+// while tests/sharded_equivalence_test.cc keeps pinning kLinear's
+// bit-for-bit serial-merge identity.
 //
 // The driver is written against the unified Summary protocol: any type
 // modeling ShardableSummary works, including the type-erased
@@ -52,12 +62,15 @@
 //
 // Determinism: with a single writer, each shard receives its sub-stream in
 // arrival order (queues are FIFO and batched ingest is exactly equivalent to
-// one-at-a-time ingest), so the driver's answers are bit-for-bit equal to
-// partitioning the stream by ShardOf and feeding S summaries serially —
-// asserted by tests/sharded_equivalence_test.cc. With several concurrent
-// writers the per-shard interleaving (and thus bucket-closing timing) is
-// scheduling-dependent, but every interleaving is a valid stream order and
-// keeps the summaries' (eps, delta) guarantees.
+// one-at-a-time ingest), so under MergePolicy::kLinear the driver's answers
+// are bit-for-bit equal to partitioning the stream by ShardOf and feeding S
+// summaries serially — asserted by tests/sharded_equivalence_test.cc. The
+// default tree policy is equally deterministic for a fixed shard count but
+// folds in tree order, so it is answer-equivalent rather than bit-equal to
+// the serial fold. With several concurrent writers the per-shard
+// interleaving (and thus bucket-closing timing) is scheduling-dependent,
+// but every interleaving is a valid stream order and keeps the summaries'
+// (eps, delta) guarantees.
 #ifndef CASTREAM_DRIVER_SHARDED_DRIVER_H_
 #define CASTREAM_DRIVER_SHARDED_DRIVER_H_
 
@@ -154,6 +167,38 @@ struct ShardedDriverOptions {
   /// coalescing reorders emissions, which is answer-valid (any emission
   /// order is a stream order) but not bit-identical.
   size_t writer_coalesce_slots = 0;
+};
+
+/// \brief How a query observes the stream.
+enum class QueryMode : uint8_t {
+  /// Flush + drain + republish before merging: exact as of the call, but
+  /// waits on the shard queues (backpressured writers stall it).
+  kBlocking,
+  /// Merge the published snapshots as they are: never waits on ingest;
+  /// stale by at most each shard's unpublished tail, and the answer's
+  /// epoch vector reports exactly which publishes it covers.
+  kSnapshot,
+};
+
+/// \brief Per-query knobs for the unified query entry points. The defaults
+/// are what almost every caller wants: exact answers via the O(log S)
+/// incremental merge tree.
+struct QueryOptions {
+  QueryMode mode = QueryMode::kBlocking;
+  /// kTree re-merges only changed shards' root paths; kLinear replays the
+  /// serial shard-order fold bit-for-bit (the test/debug oracle, O(S) from
+  /// the first changed shard). See src/driver/merge_cache.h.
+  MergePolicy policy = MergePolicy::kTree;
+};
+
+/// \brief A point-query result carrying its provenance: `epochs[s]` is the
+/// publication epoch of the shard-s snapshot the estimate was merged from
+/// (0 = never published, i.e. that shard contributed nothing yet). The
+/// in-process mirror of the continuous service's ServedAnswer — snapshot
+/// callers read staleness off it instead of flying blind.
+struct QueryAnswer {
+  double estimate = 0.0;
+  std::vector<uint64_t> epochs;
 };
 
 /// \brief Runs S identically-configured summaries as shards of one logical
@@ -344,40 +389,54 @@ class ShardedDriver {
     for (auto& shard : shards_) PublishShard(*shard);
   }
 
-  /// \brief Flushes, then merges every shard into a fresh summary answering
-  /// over the whole stream ingested so far. Shards are left untouched, so
-  /// ingest can continue and the merge can be repeated; concurrent writers
-  /// may keep pushing — the merge observes each shard at a batch boundary.
-  /// Repeating the call without intervening ingest performs zero shard
-  /// merges (the epoch-keyed cache is hit).
+  /// \brief The one whole-stream summarization entry point both query
+  /// modes funnel through. kBlocking flushes + republishes first (exact as
+  /// of the call); kSnapshot merges the published snapshots as they are
+  /// (never waits on ingest) — the first snapshot-mode call arms the
+  /// ingest threads' interval publication, and every snapshot-mode call
+  /// nudges idle shards' unpublished tails out via try-lock (a busy or
+  /// wedged ingest thread still cannot block it). The result is shared and
+  /// immutable; shards are left untouched, so ingest continues and the
+  /// call can be repeated — a repeat with no intervening ingest performs
+  /// zero shard merges (the epoch-keyed memo is hit), and under the
+  /// default tree policy a change confined to one shard re-merges only
+  /// that leaf's O(log S) root path. When `epochs` is non-null it receives
+  /// the per-shard snapshot epochs the merge covered (0 = never
+  /// published).
+  Result<std::shared_ptr<const Summary>> Summarize(
+      const QueryOptions& options = {},
+      std::vector<uint64_t>* epochs = nullptr) {
+    if (options.mode == QueryMode::kBlocking) {
+      // The blocking path republishes on its own and does not arm —
+      // interval copies would be waste for callers who always flush.
+      FlushAndPublish();
+    } else {
+      // Arm worker-side interval publication: from now on the ingest
+      // threads keep the snapshots fresh.
+      const bool first_call =
+          !snapshots_armed_.exchange(true, std::memory_order_relaxed);
+      // Interval publication only runs when batches flow, so a shard whose
+      // ingest has gone quiet (or that ingested everything before the
+      // first snapshot query) would otherwise hide its unpublished tail
+      // forever. Publish such idle shards from here.
+      TryPublishIdleShards(first_call);
+    }
+    return MergeSnapshots(options.policy, epochs);
+  }
+
+  /// \brief Blocking whole-stream summary, returned by value. Forwards to
+  /// Summarize with the default (blocking, tree) options.
   Result<Summary> MergedSummary() {
-    FlushAndPublish();
     CASTREAM_ASSIGN_OR_RETURN(std::shared_ptr<const Summary> merged,
-                              MergeSnapshots());
+                              Summarize());
     return CopyOf(*merged);
   }
 
-  /// \brief Non-blocking whole-stream summary: merges the latest published
-  /// shard snapshots without quiescing the queues or touching the live
-  /// shard summaries. The result is shared and immutable; repeated calls
-  /// re-merge only from the first shard whose snapshot epoch advanced, and
-  /// return the cached merge (zero shard merges) when nothing changed. A
-  /// driver with no published snapshots answers as a fresh summary (the
-  /// defined zero-stream state).
+  /// \brief Non-blocking whole-stream summary; forwards to Summarize in
+  /// snapshot mode. A driver with no published snapshots answers as a
+  /// fresh summary (the defined zero-stream state).
   Result<std::shared_ptr<const Summary>> SnapshotSummary() {
-    // Arm worker-side interval publication: from now on the ingest threads
-    // keep the snapshots fresh. The blocking path calls MergeSnapshots
-    // directly and does not arm: it republishes on every Flush, so
-    // interval copies would be waste.
-    const bool first_call =
-        !snapshots_armed_.exchange(true, std::memory_order_relaxed);
-    // Interval publication only runs when batches flow, so a shard whose
-    // ingest has gone quiet (or that ingested everything before the first
-    // snapshot query) would otherwise hide its unpublished tail forever.
-    // Publish such idle shards from here — via try-lock, so a busy or
-    // wedged ingest thread still cannot block this path.
-    TryPublishIdleShards(first_call);
-    return MergeSnapshots();
+    return Summarize(QueryOptions{.mode = QueryMode::kSnapshot});
   }
 
  private:
@@ -426,11 +485,14 @@ class ShardedDriver {
     }
   }
 
-  /// \brief The merge engine both query paths share: gather published
-  /// snapshots, then fold them through the epoch-keyed PrefixMergeCache
+  /// \brief The merge engine both query modes share: gather published
+  /// snapshots, then fold them through the epoch-keyed MergeCache
   /// (src/driver/merge_cache.h — the same engine the cross-process reducer
-  /// runs), which rebuilds only the changed suffix.
-  Result<std::shared_ptr<const Summary>> MergeSnapshots() {
+  /// runs) under the requested policy. `epochs_out`, when non-null,
+  /// receives the per-shard epochs the merge covered.
+  Result<std::shared_ptr<const Summary>> MergeSnapshots(
+      MergePolicy policy = MergePolicy::kTree,
+      std::vector<uint64_t>* epochs_out = nullptr) {
     const uint32_t count = shard_count();
     std::vector<std::shared_ptr<const Summary>> snaps(count);
     std::vector<uint64_t> epochs(count);
@@ -439,7 +501,8 @@ class ShardedDriver {
       snaps[s] = shards_[s]->snapshot;
       epochs[s] = shards_[s]->snapshot_epoch;
     }
-    return merge_cache_.Merge(snaps, epochs);
+    if (epochs_out != nullptr) *epochs_out = epochs;
+    return merge_cache_.Merge(snaps, epochs, policy);
   }
 
  public:
@@ -490,24 +553,46 @@ class ShardedDriver {
     return snap->Serialize(out);
   }
 
-  /// \brief Blocking convenience point query: Flush, then query the merged
-  /// summary (summary types with a single-cutoff Query; instantiated only
-  /// if used).
-  Result<double> Query(uint64_t c) {
-    FlushAndPublish();
+  /// \brief The unified point query (summary types with a single-cutoff
+  /// Query; instantiated only if used): summarize under `options`, query at
+  /// cutoff c, and report the estimate together with the per-shard
+  /// snapshot epochs it was computed from — the in-process twin of the
+  /// continuous service's ServedAnswer. In kBlocking mode the epochs
+  /// simply record the publishes the flush produced; in kSnapshot mode
+  /// they are the staleness observable (compare against ShardEpochs() or a
+  /// later answer's vector to see which shards have moved).
+  Result<QueryAnswer> Query(uint64_t c, const QueryOptions& options) {
+    QueryAnswer answer;
     CASTREAM_ASSIGN_OR_RETURN(std::shared_ptr<const Summary> merged,
-                              MergeSnapshots());
-    return merged->Query(c);
+                              Summarize(options, &answer.epochs));
+    CASTREAM_ASSIGN_OR_RETURN(answer.estimate, merged->Query(c));
+    return answer;
   }
 
-  /// \brief Non-blocking point query over the published snapshots. Never
-  /// waits on the shard queues or ingest threads: backpressured writers and
-  /// a wedged ingest batch cannot stall it. The answer covers a recent
-  /// batch-boundary prefix of the stream (see SnapshotSummary).
+  /// \brief Blocking convenience point query; thin wrapper over the
+  /// unified Query with default options, dropping the epoch vector.
+  Result<double> Query(uint64_t c) {
+    CASTREAM_ASSIGN_OR_RETURN(QueryAnswer answer, Query(c, QueryOptions{}));
+    return answer.estimate;
+  }
+
+  /// \brief Non-blocking point query over the published snapshots; thin
+  /// wrapper over the unified Query in snapshot mode, dropping the epoch
+  /// vector. Never waits on the shard queues or ingest threads:
+  /// backpressured writers and a wedged ingest batch cannot stall it. The
+  /// answer covers a recent batch-boundary prefix of the stream (see
+  /// Summarize).
   Result<double> SnapshotQuery(uint64_t c) {
-    CASTREAM_ASSIGN_OR_RETURN(std::shared_ptr<const Summary> merged,
-                              SnapshotSummary());
-    return merged->Query(c);
+    CASTREAM_ASSIGN_OR_RETURN(
+        QueryAnswer answer, Query(c, QueryOptions{.mode = QueryMode::kSnapshot}));
+    return answer.estimate;
+  }
+
+  /// \brief Snapshot-mode point query that also reports the per-shard
+  /// epochs the answer covers — SnapshotQuery with the staleness
+  /// provenance attached.
+  Result<QueryAnswer> SnapshotQueryAnswer(uint64_t c) {
+    return Query(c, QueryOptions{.mode = QueryMode::kSnapshot});
   }
 
   /// \brief The shard an item identifier routes to (the partition function;
@@ -655,13 +740,16 @@ class ShardedDriver {
   ShardedDriverOptions options_;
   std::function<Summary()> make_summary_;
   // The epoch-keyed merge engine (src/driver/merge_cache.h; also the
-  // reducer's engine). Memory trade, deliberate: the cache pins up to S
-  // merged copies (plus the S published snapshots) on top of the live
-  // shards — roughly 3x one summary set — in exchange for suffix-only
-  // rebuilds and zero-merge repeat queries. A deployment that can't afford
-  // it can shrink via fewer/smaller shards or drop the cache between query
-  // bursts with InvalidateSnapshotCache.
-  PrefixMergeCache<Summary> merge_cache_;
+  // reducer's engine). Memory trade, deliberate: the default tree policy
+  // pins up to S-1 internal-node copies (plus the S published snapshots)
+  // on top of the live shards — roughly 3x one summary set, same order as
+  // the old linear prefix chain — in exchange for O(log S) re-merges on
+  // single-shard change and zero-merge repeat queries. Querying under
+  // *both* policies additionally materializes the linear memo (another
+  // ~S copies). A deployment that can't afford it can shrink via
+  // fewer/smaller shards or drop the memos between query bursts with
+  // InvalidateSnapshotCache.
+  MergeCache<Summary> merge_cache_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<Writer> default_writer_;
 

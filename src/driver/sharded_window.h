@@ -10,15 +10,20 @@
 // while every sliding-window query stays a single prefix query with a
 // query-time cutoff.
 //
-// Two query paths, mirroring the driver's:
-//   * QueryWindow / QuerySince (blocking): drain the queues, republish, and
-//     answer over every observation handed in before the call.
-//   * SnapshotQueryWindow / SnapshotQuerySince (non-blocking): answer from
-//     the published shard snapshots without quiescing ingest. The answer
-//     covers a recent batch-boundary prefix of the observation stream —
-//     stale by at most snapshot_interval_batches per shard plus queue
-//     depth — which is exactly the watermark semantics of asynchronous
-//     stream monitoring: late data was already the norm.
+// Queries mirror the driver's unified API: QueryWindow / QuerySince take
+// the driver's QueryOptions (mode + merge policy) and return
+// QueryAnswer{estimate, epochs}, with the historical Result<double>
+// spellings kept as thin forwarders:
+//   * QueryMode::kBlocking (QueryWindow / QuerySince): drain the queues,
+//     republish, and answer over every observation handed in before the
+//     call.
+//   * QueryMode::kSnapshot (SnapshotQueryWindow / SnapshotQuerySince):
+//     answer from the published shard snapshots without quiescing ingest.
+//     The answer covers a recent batch-boundary prefix of the observation
+//     stream — stale by at most snapshot_interval_batches per shard plus
+//     queue depth, with the covered publishes reported in the answer's
+//     epoch vector — which is exactly the watermark semantics of
+//     asynchronous stream monitoring: late data was already the norm.
 //
 // Validation (timestamp domain, watermark-past-observations) is shared with
 // the unsharded AsyncSlidingWindow via the helpers in async_window.h, so
@@ -100,43 +105,67 @@ class ShardedAsyncWindow {
   /// see their private buffers).
   void Flush() { driver_.Flush(); }
 
-  /// \brief Blocking aggregate over {v : watermark - window < t <=
-  /// watermark}: flushes, then answers over every observation handed in
-  /// before the call. The watermark must be at or past every observed
-  /// timestamp (see async_window.h).
-  Result<double> QueryWindow(uint64_t watermark, uint64_t window) {
-    if (window == 0) return 0.0;
+  /// \brief The unified window aggregate over {v : watermark - window < t
+  /// <= watermark}: mode/policy per the driver's QueryOptions, answer with
+  /// per-shard snapshot-epoch provenance. The watermark must be at or past
+  /// every observed timestamp (see async_window.h). A zero-width window
+  /// answers 0 without touching the driver (no epochs: nothing was
+  /// merged).
+  Result<QueryAnswer> QueryWindow(uint64_t watermark, uint64_t window,
+                                  const QueryOptions& options) {
+    if (window == 0) return QueryAnswer{};
     CASTREAM_ASSIGN_OR_RETURN(
         const uint64_t cutoff,
         AsyncWindowCutoff(watermark, window, t_max_, max_observed_t()));
-    CASTREAM_ASSIGN_OR_RETURN(const double result, driver_.Query(cutoff));
-    return GuardWatermark(watermark, result);
+    CASTREAM_ASSIGN_OR_RETURN(QueryAnswer answer,
+                              driver_.Query(cutoff, options));
+    return GuardWatermark(watermark, std::move(answer));
+  }
+
+  /// \brief The unified since-aggregate over all elements with t >= since
+  /// (see QueryWindow for options/answer semantics).
+  Result<QueryAnswer> QuerySince(uint64_t since, const QueryOptions& options) {
+    if (since > t_max_) return QueryAnswer{};
+    return driver_.Query(t_max_ - since, options);
+  }
+
+  /// \brief Blocking window aggregate; thin wrapper over the unified
+  /// QueryWindow with default options, dropping the epoch vector.
+  Result<double> QueryWindow(uint64_t watermark, uint64_t window) {
+    CASTREAM_ASSIGN_OR_RETURN(QueryAnswer answer,
+                              QueryWindow(watermark, window, QueryOptions{}));
+    return answer.estimate;
   }
 
   /// \brief Non-blocking window aggregate served from the driver's
   /// published shard snapshots: never waits on writer queues or in-flight
   /// ingest. The answer covers a recent batch-boundary prefix of the
-  /// observation stream; after Flush() it equals QueryWindow bit-for-bit.
+  /// observation stream; after Flush() it equals QueryWindow under the
+  /// same merge policy bit-for-bit. Thin wrapper over the unified
+  /// QueryWindow in snapshot mode, dropping the epoch vector.
   Result<double> SnapshotQueryWindow(uint64_t watermark, uint64_t window) {
-    if (window == 0) return 0.0;
     CASTREAM_ASSIGN_OR_RETURN(
-        const uint64_t cutoff,
-        AsyncWindowCutoff(watermark, window, t_max_, max_observed_t()));
-    CASTREAM_ASSIGN_OR_RETURN(const double result,
-                              driver_.SnapshotQuery(cutoff));
-    return GuardWatermark(watermark, result);
+        QueryAnswer answer,
+        QueryWindow(watermark, window,
+                    QueryOptions{.mode = QueryMode::kSnapshot}));
+    return answer.estimate;
   }
 
-  /// \brief Blocking aggregate over all elements with t >= since.
+  /// \brief Blocking aggregate over all elements with t >= since; thin
+  /// wrapper over the unified QuerySince.
   Result<double> QuerySince(uint64_t since) {
-    if (since > t_max_) return 0.0;
-    return driver_.Query(t_max_ - since);
+    CASTREAM_ASSIGN_OR_RETURN(QueryAnswer answer,
+                              QuerySince(since, QueryOptions{}));
+    return answer.estimate;
   }
 
-  /// \brief Non-blocking since-aggregate (see SnapshotQueryWindow).
+  /// \brief Non-blocking since-aggregate (see SnapshotQueryWindow); thin
+  /// wrapper over the unified QuerySince in snapshot mode.
   Result<double> SnapshotQuerySince(uint64_t since) {
-    if (since > t_max_) return 0.0;
-    return driver_.SnapshotQuery(t_max_ - since);
+    CASTREAM_ASSIGN_OR_RETURN(
+        QueryAnswer answer,
+        QuerySince(since, QueryOptions{.mode = QueryMode::kSnapshot}));
+    return answer.estimate;
   }
 
   /// \brief The largest timestamp any observer has recorded so far.
@@ -166,13 +195,14 @@ class ShardedAsyncWindow {
   /// element to the driver, so any such element visible in the answer is
   /// also visible here — rejecting after the fact restores the unsharded
   /// class's contract (query a watermark only once it is final).
-  Result<double> GuardWatermark(uint64_t watermark, double result) const {
+  Result<QueryAnswer> GuardWatermark(uint64_t watermark,
+                                     QueryAnswer answer) const {
     if (watermark < max_observed_t()) {
       return Status::InvalidArgument(
           "watermark precedes an observed timestamp; sliding-window queries "
           "address the most recent window only");
     }
-    return result;
+    return std::move(answer);
   }
 
   /// \brief Monotone max over concurrent observers.

@@ -241,7 +241,7 @@ ServedAnswer SnapshotReducer::Answer(uint64_t cutoff) {
   }
   // Merge outside the table lock: publishes keep landing while a (possibly
   // expensive) suffix rebuild runs; they'll be picked up by the next query.
-  auto merged = merge_cache_.Merge(snaps, seqs);
+  auto merged = merge_cache_.Merge(snaps, seqs, options_.merge_policy);
   if (!merged.ok()) {
     answer.status = merged.status();
     return answer;

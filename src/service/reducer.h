@@ -6,19 +6,24 @@
 //   worker 0: ShardedDriver ──┐  epoch-tagged SerializeShard blobs
 //   worker 1: ShardedDriver ──┼──────────── TCP ────────────▶ SnapshotReducer
 //   clients:  QueryServed  ───┘                                   │
-//                              snapshot table (worker, shard) ──▶ PrefixMergeCache
+//                              snapshot table (worker, shard) ──▶ MergeCache
 //
 // The reducer maintains one slot per (worker, shard): the latest decoded
 // snapshot, the worker-declared epoch, and the publisher's session tag.
 // Publishes are idempotent and restart-safe (see src/net/frame.h for the
 // session/epoch rules); hostile or truncated blobs are rejected by the
 // checked Decoder at the door and acked kRejected without touching the
-// table. Queries fold the table through the same epoch-keyed
-// PrefixMergeCache the in-process driver uses — slots merge in (worker,
-// shard) order, so the answer is bit-for-bit the serial merge of the
-// published snapshots — and every answer carries the epoch vector it was
-// computed from. Queries never wait on workers: a dead or wedged worker
-// just stops advancing its slots.
+// table. Queries fold the table's slots, in their deterministic (worker,
+// shard) key order, through the same epoch-keyed MergeCache the in-process
+// driver uses — by default as a binary merge tree, so one worker
+// republishing one shard re-merges only that slot's O(log slots) root
+// path instead of the whole table. ReducerOptions::merge_policy selects
+// MergePolicy::kLinear to replay the serial slot-order fold bit-for-bit
+// (the debugging/oracle shape); either way every answer carries the epoch
+// vector it was computed from, and answers across policies are
+// answer-equivalent (merge order is an implementation detail of mergeable
+// summaries). Queries never wait on workers: a dead or wedged worker just
+// stops advancing its slots.
 //
 // Shutdown() is a drain, not an abort: accepting stops, every open
 // connection's read side is half-closed so in-flight frames (already
@@ -59,6 +64,10 @@ struct ReducerOptions {
   uint16_t port = 0;
   /// How often the accept loop rechecks the shutdown flag.
   std::chrono::milliseconds accept_poll{100};
+  /// How queries fold the snapshot table (src/driver/merge_cache.h):
+  /// kTree (default) re-merges only republished slots' root paths;
+  /// kLinear replays the serial slot-order fold bit-for-bit.
+  MergePolicy merge_policy = MergePolicy::kTree;
   /// Log publishes/rejections to stderr (the demo binary turns this on).
   bool log = false;
 };
@@ -144,7 +153,7 @@ class SnapshotReducer {
   std::map<std::pair<uint32_t, uint32_t>, Slot> slots_;
   uint64_t next_pub_seq_ = 1;
 
-  PrefixMergeCache<AnySummary> merge_cache_;
+  MergeCache<AnySummary> merge_cache_;
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> duplicate_{0};

@@ -92,9 +92,11 @@ TEST(ServiceTest, PublishedAnswersEqualDriverOracleExactly) {
     auto driver = MakeDriver(kind, /*shards=*/3);
     const auto stream = DemoStream(6000);
     driver->InsertBatch(stream);
-    // MergedSummary flushes, publishes, and merges snapshots in shard
-    // order from an empty summary — exactly the fold the reducer performs
-    // over its (worker, shard) table, so equality must be bit-for-bit.
+    // MergedSummary flushes, publishes, and tree-merges the shard
+    // snapshots; the reducer runs the same MergeCache engine over its
+    // (worker, shard) table, which for one worker holds the same leaves in
+    // the same order — identical tree shape, so equality must be
+    // bit-for-bit.
     auto oracle = driver->MergedSummary();
     ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
 

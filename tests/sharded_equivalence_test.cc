@@ -1,11 +1,14 @@
 // The sharded driver is documented as *deterministic* with a single writer:
 // each shard receives its x-partitioned sub-stream in arrival order, batched
 // ingest is exactly equivalent to one-at-a-time ingest, and query-time
-// merging is a pure function of the shard states. So an S-shard driver run
-// must return answers bit-for-bit equal to the serial "merge oracle": feed S
-// summaries by partitioning the stream with the driver's own ShardOf, then
-// merge them in shard order. Checked for every summary type, plus the S=1
-// degenerate case against a plain unsharded summary.
+// merging is a pure function of the shard states. Under MergePolicy::kLinear
+// — the policy this suite pins — an S-shard driver run must return answers
+// bit-for-bit equal to the serial "merge oracle": feed S summaries by
+// partitioning the stream with the driver's own ShardOf, then merge them in
+// shard order. Checked for every summary type, plus the S=1 degenerate case
+// against a plain unsharded summary. (The default tree policy folds the
+// same shard states in a different order; its contract is
+// answer-equivalence, pinned by tests/merge_policy_test.cc.)
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -66,6 +69,17 @@ void FeedDriver(ShardedDriver<Summary>& driver,
   }
 }
 
+/// \brief The driver-side answer this suite compares: a blocking summarize
+/// under the linear policy — the path documented bit-for-bit equal to the
+/// serial shard-order merge — returned by value like MergedSummary.
+template <typename Summary>
+Result<Summary> LinearMergedSummary(ShardedDriver<Summary>& driver) {
+  auto merged = driver.Summarize(QueryOptions{
+      .mode = QueryMode::kBlocking, .policy = MergePolicy::kLinear});
+  if (!merged.ok()) return merged.status();
+  return SummaryDeepCopy(*merged.value());
+}
+
 /// \brief Serial merge oracle: partition by the driver's own ShardOf, feed
 /// S summaries in stream order, merge them in shard order.
 template <typename Summary, typename Make>
@@ -120,7 +134,7 @@ TEST(ShardedEquivalenceTest, F2DriverMatchesMergeOracle) {
   dopts.batch_size = 256;
   ShardedDriver<CorrelatedF2Sketch> driver(dopts, make);
   FeedDriver(driver, stream);
-  auto merged = driver.MergedSummary();
+  auto merged = LinearMergedSummary(driver);
   ASSERT_TRUE(merged.ok());
   EXPECT_EQ(driver.tuples_processed(), stream.size());
 
@@ -144,7 +158,7 @@ TEST(ShardedEquivalenceTest, SingleShardDriverMatchesUnshardedSummary) {
   dopts.shards = 1;
   ShardedDriver<CorrelatedF2Sketch> driver(dopts, make);
   FeedDriver(driver, stream);
-  auto merged = driver.MergedSummary();
+  auto merged = LinearMergedSummary(driver);
   ASSERT_TRUE(merged.ok());
   ExpectIdenticalScalarQueries(unsharded, merged.value(), opts.y_max);
 }
@@ -162,7 +176,7 @@ TEST(ShardedEquivalenceTest, F0DriverMatchesMergeOracle) {
   dopts.shards = 4;
   ShardedDriver<CorrelatedF0Sketch> driver(dopts, make);
   FeedDriver(driver, stream);
-  auto merged = driver.MergedSummary();
+  auto merged = LinearMergedSummary(driver);
   ASSERT_TRUE(merged.ok());
 
   const auto oracle = MergeOracle(driver, make, stream);
@@ -185,7 +199,7 @@ TEST(ShardedEquivalenceTest, RarityDriverMatchesMergeOracle) {
   dopts.batch_size = 100;
   ShardedDriver<CorrelatedRaritySketch> driver(dopts, make);
   FeedDriver(driver, stream);
-  auto merged = driver.MergedSummary();
+  auto merged = LinearMergedSummary(driver);
   ASSERT_TRUE(merged.ok());
 
   const auto oracle = MergeOracle(driver, make, stream);
@@ -202,7 +216,7 @@ TEST(ShardedEquivalenceTest, HeavyHittersDriverMatchesMergeOracle) {
   dopts.shards = 4;
   ShardedDriver<CorrelatedF2HeavyHitters> driver(dopts, make);
   FeedDriver(driver, stream);
-  auto merged = driver.MergedSummary();
+  auto merged = LinearMergedSummary(driver);
   ASSERT_TRUE(merged.ok());
 
   const auto oracle = MergeOracle(driver, make, stream);
@@ -241,11 +255,11 @@ TEST(ShardedEquivalenceTest, RepeatedMergesAndContinuedIngest) {
   ShardedDriver<CorrelatedF2Sketch> driver(dopts, make);
   const size_t half = stream.size() / 2;
   driver.InsertBatch(std::span<const Tuple>(stream.data(), half));
-  auto first = driver.MergedSummary();
+  auto first = LinearMergedSummary(driver);
   ASSERT_TRUE(first.ok());
   driver.InsertBatch(
       std::span<const Tuple>(stream.data() + half, stream.size() - half));
-  auto second = driver.MergedSummary();
+  auto second = LinearMergedSummary(driver);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(driver.tuples_processed(), stream.size());
 

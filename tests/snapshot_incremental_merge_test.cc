@@ -1,15 +1,20 @@
 // The merge engine's incremental reuse (label: concurrency).
 //
-// ShardedDriver memoizes prefix merges keyed by shard snapshot epochs and
-// rebuilds only from the first shard whose epoch advanced. These tests pin
-// the two properties that make that safe to rely on:
-//   * Answers are identical whether the running merged summary is reused or
-//     rebuilt from scratch (InvalidateSnapshotCache) — catching stale-epoch
-//     and double-merge bugs — including the S=1 and empty-driver edges.
-//   * The work is really skipped: a repeated blocking Query (or
-//     MergedSummary) with no intervening ingest performs zero shard merges,
-//     and ingest confined to the last shard re-merges only that suffix.
-//     Observable via the driver's shard-merge counter.
+// ShardedDriver's MergeCache memoizes merges keyed by shard snapshot
+// epochs — as a binary merge tree under the default MergePolicy::kTree,
+// and as the shard-order prefix chain under MergePolicy::kLinear. These
+// tests pin the properties that make the memo safe to rely on:
+//   * Per policy, answers are identical whether the memo is reused or
+//     rebuilt from scratch (InvalidateSnapshotCache) — catching
+//     stale-epoch and double-merge bugs — including the S=1 and
+//     empty-driver edges.
+//   * The work is really skipped, observable via the driver's shard-merge
+//     counter: a repeated blocking Query (or MergedSummary) with no
+//     intervening ingest performs zero shard merges under either policy;
+//     under kTree, ingest confined to one shard re-merges only that
+//     leaf's root path (log2 S nodes, wherever the shard sits); under
+//     kLinear, ingest confined to the last shard re-merges only that
+//     suffix while the first shard re-merges everything.
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -55,13 +60,27 @@ std::vector<uint64_t> CutoffLadder(uint64_t y_max) {
 }
 
 template <typename Driver>
-std::vector<Result<double>> LadderAnswers(Driver& driver, uint64_t y_max) {
+std::vector<Result<double>> LadderAnswers(
+    Driver& driver, uint64_t y_max,
+    const QueryOptions& options = {.mode = QueryMode::kSnapshot}) {
   std::vector<Result<double>> answers;
   for (uint64_t c : CutoffLadder(y_max)) {
-    answers.push_back(driver.SnapshotQuery(c));
+    auto answer = driver.Query(c, options);
+    if (answer.ok()) {
+      answers.push_back(Result<double>(answer.value().estimate));
+    } else {
+      answers.push_back(Result<double>(answer.status()));
+    }
   }
   return answers;
 }
+
+constexpr QueryOptions kSnapshotTree{.mode = QueryMode::kSnapshot,
+                                     .policy = MergePolicy::kTree};
+constexpr QueryOptions kSnapshotLinear{.mode = QueryMode::kSnapshot,
+                                       .policy = MergePolicy::kLinear};
+constexpr QueryOptions kBlockingLinear{.mode = QueryMode::kBlocking,
+                                       .policy = MergePolicy::kLinear};
 
 void ExpectIdenticalAnswers(const std::vector<Result<double>>& a,
                             const std::vector<Result<double>>& b) {
@@ -90,12 +109,15 @@ TEST(SnapshotIncrementalMergeTest, ReusedEqualsRebuiltFromScratch) {
     driver.InsertBatch(std::span<const Tuple>(
         stream.data() + static_cast<size_t>(round) * chunk, chunk));
     driver.Flush();
-    // Reuse path first (it may hit the cache from the previous round's
-    // queries), then force a from-scratch rebuild over the same snapshots.
-    const auto reused = LadderAnswers(driver, opts.y_max);
-    driver.InvalidateSnapshotCache();
-    const auto rebuilt = LadderAnswers(driver, opts.y_max);
-    ExpectIdenticalAnswers(reused, rebuilt);
+    // Reuse path first (it may hit the memo from the previous round's
+    // queries), then force a from-scratch rebuild over the same snapshots
+    // — for each policy, since each keeps its own memo.
+    for (const QueryOptions& options : {kSnapshotTree, kSnapshotLinear}) {
+      const auto reused = LadderAnswers(driver, opts.y_max, options);
+      driver.InvalidateSnapshotCache();
+      const auto rebuilt = LadderAnswers(driver, opts.y_max, options);
+      ExpectIdenticalAnswers(reused, rebuilt);
+    }
   }
 }
 
@@ -134,7 +156,11 @@ TEST(SnapshotIncrementalMergeTest, BackToBackBlockingQueryPerformsZeroMerges) {
   EXPECT_EQ(driver.shard_merges_performed(), merges_after_ingest);
 }
 
-TEST(SnapshotIncrementalMergeTest, SuffixConfinedIngestRemergesOnlySuffix) {
+// The linear policy's signature cost shape: rebuilds start at the first
+// changed shard, so last-shard churn is cheap and first-shard churn pays
+// for every shard. (The tree policy's shape is pinned by the next test
+// and, at S=64, by tests/merge_policy_test.cc.)
+TEST(SnapshotIncrementalMergeTest, LinearSuffixConfinedIngestRemergesOnlySuffix) {
   const auto opts = F2Options();
   AmsF2SketchFactory factory(AmsDimsFor(opts.eps, 1e-4, 4), /*seed=*/63);
   ShardedDriverOptions dopts;
@@ -143,8 +169,9 @@ TEST(SnapshotIncrementalMergeTest, SuffixConfinedIngestRemergesOnlySuffix) {
   ShardedDriver<CorrelatedF2Sketch> driver(
       dopts, [&] { return CorrelatedF2Sketch(opts, factory); });
   driver.InsertBatch(MakeStream(8000, 500, opts.y_max, 8));
-  ASSERT_TRUE(driver.Query(opts.y_max).ok());
+  ASSERT_TRUE(driver.Query(opts.y_max, kBlockingLinear).ok());
   const uint64_t merges_full = driver.shard_merges_performed();
+  EXPECT_EQ(merges_full, driver.shard_count());
 
   // Ingest confined to the last shard: the rebuild must start there, so
   // exactly one shard merge is added.
@@ -152,7 +179,7 @@ TEST(SnapshotIncrementalMergeTest, SuffixConfinedIngestRemergesOnlySuffix) {
   while (driver.ShardOf(x_last) != driver.shard_count() - 1) ++x_last;
   std::vector<Tuple> last_only(500, Tuple{x_last, opts.y_max / 2});
   driver.InsertBatch(last_only);
-  ASSERT_TRUE(driver.Query(opts.y_max).ok());
+  ASSERT_TRUE(driver.Query(opts.y_max, kBlockingLinear).ok());
   EXPECT_EQ(driver.shard_merges_performed(), merges_full + 1);
 
   // Ingest confined to the first shard re-merges every published shard.
@@ -160,9 +187,37 @@ TEST(SnapshotIncrementalMergeTest, SuffixConfinedIngestRemergesOnlySuffix) {
   while (driver.ShardOf(x_first) != 0) ++x_first;
   std::vector<Tuple> first_only(500, Tuple{x_first, opts.y_max / 2});
   driver.InsertBatch(first_only);
-  ASSERT_TRUE(driver.Query(opts.y_max).ok());
+  ASSERT_TRUE(driver.Query(opts.y_max, kBlockingLinear).ok());
   EXPECT_EQ(driver.shard_merges_performed(),
             merges_full + 1 + driver.shard_count());
+}
+
+// The tree policy's signature cost shape: churn on ANY single shard —
+// first or last — re-merges only that leaf's root path: log2(S) internal
+// nodes once every leaf is populated.
+TEST(SnapshotIncrementalMergeTest, TreeSingleShardChurnRemergesRootPathOnly) {
+  const auto opts = F2Options();
+  AmsF2SketchFactory factory(AmsDimsFor(opts.eps, 1e-4, 4), /*seed=*/66);
+  ShardedDriverOptions dopts;
+  dopts.shards = 4;  // S = 4: full build 3 merges, root path 2
+  dopts.batch_size = 64;
+  ShardedDriver<CorrelatedF2Sketch> driver(
+      dopts, [&] { return CorrelatedF2Sketch(opts, factory); });
+  driver.InsertBatch(MakeStream(8000, 500, opts.y_max, 10));
+  ASSERT_TRUE(driver.Query(opts.y_max).ok());
+  // Full build over 4 populated leaves: 2 inner nodes + the root.
+  EXPECT_EQ(driver.shard_merges_performed(), 3u);
+
+  for (uint32_t target : {driver.shard_count() - 1, 0u}) {
+    uint64_t x = 0;
+    while (driver.ShardOf(x) != target) ++x;
+    const uint64_t before = driver.shard_merges_performed();
+    std::vector<Tuple> one_shard(500, Tuple{x, opts.y_max / 2});
+    driver.InsertBatch(one_shard);
+    ASSERT_TRUE(driver.Query(opts.y_max).ok());
+    EXPECT_EQ(driver.shard_merges_performed(), before + 2)
+        << "churned shard " << target;
+  }
 }
 
 TEST(SnapshotIncrementalMergeTest, SingleShardReuseEqualsRebuild) {
@@ -176,13 +231,27 @@ TEST(SnapshotIncrementalMergeTest, SingleShardReuseEqualsRebuild) {
   driver.InsertBatch(MakeStream(6000, 400, opts.y_max, 9));
   driver.Flush();
 
-  const auto reused = LadderAnswers(driver, opts.y_max);
+  // Tree: a single-leaf tree aliases the snapshot — zero merges, ever.
+  const auto tree_reused = LadderAnswers(driver, opts.y_max, kSnapshotTree);
+  EXPECT_EQ(driver.shard_merges_performed(), 0u);
+  ExpectIdenticalAnswers(tree_reused,
+                         LadderAnswers(driver, opts.y_max, kSnapshotTree));
+  EXPECT_EQ(driver.shard_merges_performed(), 0u);
+
+  // Linear: the chain is empty ∪ snapshot — exactly one merge, redone
+  // once after an invalidation.
+  const auto reused = LadderAnswers(driver, opts.y_max, kSnapshotLinear);
   const uint64_t merges_before = driver.shard_merges_performed();
-  ExpectIdenticalAnswers(reused, LadderAnswers(driver, opts.y_max));
+  EXPECT_EQ(merges_before, 1u);
+  ExpectIdenticalAnswers(reused,
+                         LadderAnswers(driver, opts.y_max, kSnapshotLinear));
   EXPECT_EQ(driver.shard_merges_performed(), merges_before);  // cache hit
   driver.InvalidateSnapshotCache();
-  ExpectIdenticalAnswers(reused, LadderAnswers(driver, opts.y_max));
+  ExpectIdenticalAnswers(reused,
+                         LadderAnswers(driver, opts.y_max, kSnapshotLinear));
   EXPECT_EQ(driver.shard_merges_performed(), merges_before + 1);  // rebuilt
+  ExpectIdenticalAnswers(tree_reused,
+                         LadderAnswers(driver, opts.y_max, kSnapshotTree));
 }
 
 TEST(SnapshotIncrementalMergeTest, EmptyDriverAnswersAsFreshSummary) {
