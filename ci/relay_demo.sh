@@ -1,0 +1,187 @@
+#!/usr/bin/env bash
+# End-to-end drill of the relay tier: a multi-level reducer tree
+# (registered as the relay_cross_process CTest test and run as a CI step).
+#
+# Topology (node ids are frame-level worker ids, shared across tiers):
+#
+#   worker 0 ─┐
+#   worker 1 ─┼─▶ relay 4 ─┐
+#   worker 2 ─┐            ├─▶ root 6 ◀── queries
+#   worker 3 ─┼─▶ relay 5 ─┘
+#
+# The drill asserts the tentpole guarantees:
+#   * queries answer at BOTH tiers while ingest is in flight (a relay is a
+#     fully queryable reducer, not a dumb pipe),
+#   * kill -9 of a relay, restarted on the same port, is survived: its
+#     workers reconnect and re-offer, its fresh session tag replaces the
+#     dead incarnation's slot at the root,
+#   * kill -9 of the root, restarted on the same port, is survived: the
+#     relays' republish loops detect the dead peer and re-offer their
+#     merged tables (idempotence makes the overlap free),
+#   * SIGUSR1 dumps the table; the root's slots show the relays' epoch-
+#     vector annexes (downstream= entries),
+#   * SIGTERM drains each relay with a must-succeed upstream flush, after
+#     which the root's final ladder equals the tier-grouping oracle
+#     bit-for-bit (%.17g), with per-leaf-worker epoch vectors, and
+#   * SIGTERM drains the root gracefully (exit 0, stats line printed).
+#
+# usage: ci/relay_demo.sh SERVED_BIN [WORK_DIR]
+#   SERVED_BIN  path to the built castream_served
+#   WORK_DIR    scratch dir for logs and port files (default: mktemp -d)
+#   REDUCE_BIN  optional env override: the binary to run the ROOT with
+#   RELAY_BIN   optional env override: the binary to run the RELAYS with
+#               The CI cross-compiler job runs gcc workers publishing into
+#               a clang relay tier republishing into a gcc root — frames
+#               and blobs are compiler-independent at every tier.
+set -euo pipefail
+
+BIN=${1:?usage: relay_demo.sh SERVED_BIN [WORK_DIR]}
+DIR=${2:-$(mktemp -d)}
+ROOT_BIN=${REDUCE_BIN:-$BIN}
+RELAY_BIN=${RELAY_BIN:-$BIN}
+mkdir -p "$DIR"
+
+KIND=f2
+WORKERS=4
+COUNT=80000
+TOPOLOGY="0>4,1>4,2>5,3>5,4>6,5>6"
+STREAM_FLAGS=(--kind "$KIND" --workers "$WORKERS" --count "$COUNT")
+WORKER_FLAGS=("${STREAM_FLAGS[@]}" --publish-every 1500 --throttle-us 400000)
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+wait_for_port_file() {  # $1 = path
+  for _ in $(seq 1 100); do
+    [ -s "$1" ] && return 0
+    sleep 0.1
+  done
+  fail "port file $1 never appeared"
+}
+
+wait_for_serving() {  # $1 = port
+  for _ in $(seq 1 100); do
+    if "$BIN" query --port "$1" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  fail "reducer on port $1 never answered a query"
+}
+
+# --- start the root, then the two relays publishing into it --------------
+rm -f "$DIR/root.port" "$DIR/r4.port" "$DIR/r5.port"
+"$ROOT_BIN" reduce --kind "$KIND" --port-file "$DIR/root.port" --log \
+  > "$DIR/root1.log" 2>&1 &
+ROOT_PID=$!
+wait_for_port_file "$DIR/root.port"
+ROOT_PORT=$(cat "$DIR/root.port")
+wait_for_serving "$ROOT_PORT"
+
+"$RELAY_BIN" relay --kind "$KIND" --port "$ROOT_PORT" --relay-id 4 \
+  --port-file "$DIR/r4.port" --log > "$DIR/relay4a.log" 2>&1 &
+R4_PID=$!
+"$RELAY_BIN" relay --kind "$KIND" --port "$ROOT_PORT" --relay-id 5 \
+  --port-file "$DIR/r5.port" --log > "$DIR/relay5.log" 2>&1 &
+R5_PID=$!
+wait_for_port_file "$DIR/r4.port"
+wait_for_port_file "$DIR/r5.port"
+R4_PORT=$(cat "$DIR/r4.port")
+R5_PORT=$(cat "$DIR/r5.port")
+wait_for_serving "$R4_PORT"
+wait_for_serving "$R5_PORT"
+echo "tree up: root $ROOT_PORT (pid $ROOT_PID), relays $R4_PORT/$R5_PORT"
+
+# --- start the four workers, two per relay (throttled: drills mid-stream) -
+declare -a W_PID
+for w in 0 1 2 3; do
+  [ "$w" -le 1 ] && P=$R4_PORT || P=$R5_PORT
+  "$BIN" worker "${WORKER_FLAGS[@]}" --worker "$w" --port "$P" \
+    > "$DIR/worker$w.log" 2>&1 &
+  W_PID[$w]=$!
+done
+
+# --- queries respond at BOTH tiers while ingest is in flight -------------
+sleep 1
+"$BIN" query --port "$R4_PORT" > "$DIR/mid_relay.out" 2> "$DIR/mid_relay.err" \
+  || fail "mid-stream query at relay tier failed"
+"$BIN" query --port "$ROOT_PORT" > "$DIR/mid_root.out" 2> "$DIR/mid_root.err" \
+  || fail "mid-stream query at root tier failed"
+grep -q "epochs\[" "$DIR/mid_relay.err" \
+  || fail "relay-tier answers carry no epoch vector"
+grep -q "epochs\[" "$DIR/mid_root.err" \
+  || fail "root-tier answers carry no epoch vector"
+echo "mid-stream queries OK at both tiers"
+
+# --- SIGUSR1 dumps the table; root slots carry the relays' annexes -------
+kill -USR1 "$ROOT_PID"
+sleep 0.5
+grep -q "reducer stats:" "$DIR/root1.log" \
+  || fail "root did not dump stats on SIGUSR1"
+grep -qE "downstream=[1-9]" "$DIR/root1.log" \
+  || fail "root stats show no epoch-vector annex on any slot"
+echo "SIGUSR1 stats dump OK (annexes visible at root)"
+
+# --- drill 1: kill -9 relay 4; restart it on the same port ---------------
+kill -9 "$R4_PID" 2>/dev/null || true
+wait "$R4_PID" 2>/dev/null || true
+"$BIN" query --port "$ROOT_PORT" >/dev/null 2>&1 \
+  || fail "root query failed after relay 4 was killed"
+"$RELAY_BIN" relay --kind "$KIND" --port "$ROOT_PORT" --relay-id 4 \
+  --listen-port "$R4_PORT" --log > "$DIR/relay4b.log" 2>&1 &
+R4_PID=$!
+wait_for_serving "$R4_PORT"
+echo "relay 4 killed and restarted on port $R4_PORT"
+
+# --- drill 2: kill -9 the root; restart it on the same port --------------
+sleep 1
+kill -9 "$ROOT_PID" 2>/dev/null || true
+wait "$ROOT_PID" 2>/dev/null || true
+"$ROOT_BIN" reduce --kind "$KIND" --port "$ROOT_PORT" --log \
+  > "$DIR/root2.log" 2>&1 &
+ROOT_PID=$!
+wait_for_serving "$ROOT_PORT"
+echo "root killed and restarted on port $ROOT_PORT"
+
+# --- workers must finish cleanly despite both drills ---------------------
+for w in 0 1 2 3; do
+  wait "${W_PID[$w]}" \
+    || fail "worker $w exited nonzero (see $DIR/worker$w.log)"
+done
+echo "all four workers completed their final publishes"
+
+# --- drain the relay tier: must-succeed final flush upstream -------------
+kill -TERM "$R4_PID" "$R5_PID"
+wait "$R4_PID" || fail "relay 4 did not drain cleanly (see $DIR/relay4b.log)"
+wait "$R5_PID" || fail "relay 5 did not drain cleanly (see $DIR/relay5.log)"
+grep -q "relay 4 drained" "$DIR/relay4b.log" \
+  || fail "relay 4 did not report its drain stats"
+grep -q "relay 5 drained" "$DIR/relay5.log" \
+  || fail "relay 5 did not report its drain stats"
+echo "relay tier drained (final tables flushed to the root)"
+
+# --- the root's ladder equals the tier-grouping oracle bit-for-bit -------
+"$BIN" query "${STREAM_FLAGS[@]}" --port "$ROOT_PORT" \
+  > "$DIR/served.out" 2> "$DIR/served.err" \
+  || fail "final root query failed"
+"$BIN" oracle "${STREAM_FLAGS[@]}" --topology "$TOPOLOGY" \
+  > "$DIR/oracle.out" 2>/dev/null \
+  || fail "tier-grouping oracle run failed"
+diff -u "$DIR/oracle.out" "$DIR/served.out" \
+  || fail "root answers diverged from the tier-grouping oracle"
+# Epoch-vector concatenation: the root's answers must name every LEAF
+# worker, not the relays.
+for w in 0 1 2 3; do
+  grep -qE " $w/[0-9]+@[0-9]+" "$DIR/served.err" \
+    || fail "final epoch vector is missing worker $w"
+done
+echo "root ladder matches the tier-grouping oracle bit-for-bit," \
+     "epoch vectors name all $WORKERS leaf workers"
+
+# --- graceful shutdown: SIGTERM drains the root and exits 0 --------------
+kill -TERM "$ROOT_PID"
+if ! wait "$ROOT_PID"; then
+  fail "root did not exit cleanly on SIGTERM (see $DIR/root2.log)"
+fi
+grep -q "reducer drained" "$DIR/root2.log" \
+  || fail "root did not report its drain stats"
+
+echo "relay demo: all drills passed" \
+     "($WORKERS workers -> 2 relays -> 1 root, dir $DIR)"

@@ -78,6 +78,18 @@ if [ -n "$MISSING_BENCHES" ]; then
   exit 1
 fi
 
+# Same guard for the cross-process drills: every ci/*_demo.sh must be wired
+# into an add_test in CMakeLists.txt, or the drill stops running the day
+# it's added — the exact failure mode these scripts exist to catch.
+MISSING_DEMOS=$(comm -23 \
+  <(ls ci/*_demo.sh | xargs -n1 basename | sort) \
+  <(grep -o '[a-z_]*_demo\.sh' CMakeLists.txt | sort -u))
+if [ -n "$MISSING_DEMOS" ]; then
+  echo "error: ci/ demo scripts not registered with CTest:" >&2
+  echo "$MISSING_DEMOS" >&2
+  exit 1
+fi
+
 cd "$BUILD_DIR"
 
 # --no-tests=error everywhere: a label that silently matches nothing (a

@@ -38,6 +38,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -46,9 +48,11 @@
 #include "src/core/any_summary.h"
 #include "src/driver/sharded_driver.h"
 #include "src/hash/hash_family.h"
+#include "src/io/decoder.h"
 #include "src/service/client.h"
 #include "src/service/publisher.h"
 #include "src/service/reducer.h"
+#include "src/service/relay.h"
 #include "src/stream/generators.h"
 #include "src/stream/types.h"
 
@@ -77,6 +81,14 @@ struct Args {
   uint16_t port = 0;
   std::string port_file;
   bool log = false;
+  // relay mode: --port is the parent's port; these are the relay's own.
+  uint32_t relay_id = 0;
+  uint16_t listen_port = 0;
+  uint64_t poll_ms = 50;
+  uint64_t min_republish_ms = 0;
+  // oracle mode: optional "child>parent,..." spec for the tier-grouped
+  // fold (the reducer-tree ground truth); empty keeps the flat fold.
+  std::string topology;
 };
 
 void Usage() {
@@ -89,12 +101,19 @@ void Usage() {
       "                         [--driver-shards S] [--publish-every T]\n"
       "                         [--throttle-us U] [stream flags]\n"
       "  castream_served query  --port P [--y-max Y]\n"
+      "  castream_served relay  --kind K --port PARENT --relay-id I\n"
+      "                         [--listen-port L] [--port-file F]\n"
+      "                         [--poll-ms M] [--min-republish-ms R]\n"
+      "                         [--log] [--seed S] [config flags]\n"
       "  castream_served oracle --kind K --workers N [--driver-shards S]\n"
-      "                         [stream flags]\n"
+      "                         [--topology 'c>p,...'] [stream flags]\n"
       "kinds: %s\n"
       "All processes of one run must agree on --kind, --seed, and the\n"
       "stream flags; `oracle` then prints the exact ladder `query` must\n"
-      "show once the workers' final snapshots have landed.\n",
+      "show once the workers' final snapshots have landed. With\n"
+      "--topology the oracle replays the reducer tree's tier-grouped\n"
+      "fold instead of the flat one; reduce and relay dump their table\n"
+      "on SIGUSR1.\n",
       SummaryRegistry::KindNamesForDisplay(" | ").c_str());
 }
 
@@ -142,6 +161,18 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
     } else if (flag == "--throttle-us") {
       if (!next(&args->throttle_us)) return false;
+    } else if (flag == "--relay-id") {
+      if (!next(&v)) return false;
+      args->relay_id = static_cast<uint32_t>(v);
+    } else if (flag == "--listen-port") {
+      if (!next(&v) || v > 65535) return false;
+      args->listen_port = static_cast<uint16_t>(v);
+    } else if (flag == "--poll-ms") {
+      if (!next(&args->poll_ms) || args->poll_ms == 0) return false;
+    } else if (flag == "--min-republish-ms") {
+      if (!next(&args->min_republish_ms)) return false;
+    } else if (flag == "--topology" && i + 1 < argc) {
+      args->topology = argv[++i];
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -189,6 +220,49 @@ void PrintLadderLine(uint64_t cutoff, const Result<double>& q) {
 volatile std::sig_atomic_t g_stop = 0;
 void OnSignal(int) { g_stop = 1; }
 
+volatile std::sig_atomic_t g_stats = 0;
+void OnStatsSignal(int) { g_stats = 1; }
+
+// Dump the reducer's table to stderr (stdout stays ladder-only for the
+// oracle diff). Called from the serve loop when SIGUSR1 set the flag —
+// the handler itself only flips a sig_atomic_t.
+void PrintStats(const char* who, service::SnapshotReducer& reducer) {
+  const service::ReducerStats st = reducer.Stats();
+  std::fprintf(stderr,
+               "%s stats: version=%" PRIu64 " slots=%zu accepted=%" PRIu64
+               " duplicate=%" PRIu64 " rejected=%" PRIu64 " bad_frames=%"
+               PRIu64 " queries=%" PRIu64 "\n",
+               who, st.table_version, st.slots.size(), st.accepted,
+               st.duplicate, st.rejected, st.bad_frames, st.queries);
+  for (const service::SlotStats& s : st.slots) {
+    std::fprintf(stderr,
+                 "  slot %u/%u session=%" PRIu64 " epoch=%" PRIu64
+                 " pub_seq=%" PRIu64 " bytes=%" PRIu64 " downstream=%" PRIu64
+                 "\n",
+                 s.worker, s.shard, s.session, s.epoch, s.pub_seq, s.bytes,
+                 s.downstream_entries);
+  }
+}
+
+// Write-then-rename so a reader polling for the file never sees a
+// partially-written port number.
+bool WritePortFile(const std::string& path, uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << port << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "cannot move %s into place\n", tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 int RunReduce(const Args& args) {
   service::ReducerOptions ropts;
   ropts.kind = args.kind;
@@ -205,26 +279,18 @@ int RunReduce(const Args& args) {
   std::printf("reducer serving kind %s on 127.0.0.1:%u\n", args.kind.c_str(),
               reducer->port());
   std::fflush(stdout);
-  if (!args.port_file.empty()) {
-    // Write-then-rename so a reader polling for the file never sees a
-    // partially-written port number.
-    const std::string tmp = args.port_file + ".tmp";
-    {
-      std::ofstream out(tmp, std::ios::trunc);
-      out << reducer->port() << "\n";
-      if (!out.good()) {
-        std::fprintf(stderr, "reduce: cannot write %s\n", tmp.c_str());
-        return 1;
-      }
-    }
-    if (std::rename(tmp.c_str(), args.port_file.c_str()) != 0) {
-      std::fprintf(stderr, "reduce: cannot move %s into place\n", tmp.c_str());
-      return 1;
-    }
+  if (!args.port_file.empty() &&
+      !WritePortFile(args.port_file, reducer->port())) {
+    return 1;
   }
   std::signal(SIGTERM, OnSignal);
   std::signal(SIGINT, OnSignal);
+  std::signal(SIGUSR1, OnStatsSignal);
   while (!g_stop) {
+    if (g_stats) {
+      g_stats = 0;
+      PrintStats("reducer", *reducer);
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   reducer->Shutdown();  // graceful: drains in-flight frames, then joins
@@ -234,6 +300,67 @@ int RunReduce(const Args& args) {
               reducer->publishes_accepted(), reducer->publishes_duplicate(),
               reducer->publishes_rejected(), reducer->frames_bad(),
               reducer->queries_served());
+  return 0;
+}
+
+// A mid-tier node: reducer facing downstream (serving publishes AND
+// queries on its own port), republish loop facing the parent at --port.
+// SIGTERM is the drain: downstream connections finish, then the final
+// merged table is flushed upstream — must succeed, since after this
+// process exits nothing else holds its subtree's data.
+int RunRelay(const Args& args) {
+  if (args.port == 0) {
+    Usage();
+    return 2;
+  }
+  service::RelayOptions ropts;
+  ropts.reducer.kind = args.kind;
+  ropts.reducer.summary = OptionsFor(args);
+  ropts.reducer.summary_seed = args.summary_seed;
+  ropts.reducer.port = args.listen_port;
+  ropts.reducer.log = args.log;
+  ropts.upstream.port = args.port;
+  ropts.upstream.worker_id = args.relay_id;
+  // The republish loop retries every poll tick anyway; keep one offer's
+  // stall short so a parent restart never wedges the downstream face.
+  ropts.upstream.connect_attempts = 4;
+  ropts.poll_interval = std::chrono::milliseconds(args.poll_ms);
+  ropts.min_republish_interval =
+      std::chrono::milliseconds(args.min_republish_ms);
+  auto started = service::RelayNode::Start(ropts);
+  if (!started.ok()) {
+    std::fprintf(stderr, "relay: %s\n", started.status().ToString().c_str());
+    return 1;
+  }
+  auto relay = std::move(started).value();
+  std::printf("relay %u serving kind %s on 127.0.0.1:%u, upstream %u\n",
+              args.relay_id, args.kind.c_str(), relay->port(), args.port);
+  std::fflush(stdout);
+  if (!args.port_file.empty() &&
+      !WritePortFile(args.port_file, relay->port())) {
+    return 1;
+  }
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGUSR1, OnStatsSignal);
+  while (!g_stop) {
+    if (g_stats) {
+      g_stats = 0;
+      PrintStats("relay", relay->reducer());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  Status flushed = relay->Shutdown();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "relay %u: final upstream flush failed: %s\n",
+                 args.relay_id, flushed.ToString().c_str());
+    return 1;
+  }
+  std::printf("relay %u drained: accepted %" PRIu64 ", republished %" PRIu64
+              " (pub_seq %" PRIu64 "), queries %" PRIu64 "\n",
+              args.relay_id, relay->reducer().publishes_accepted(),
+              relay->republishes(), relay->pub_seq(),
+              relay->reducer().queries_served());
   return 0;
 }
 
@@ -393,28 +520,108 @@ int RunOracle(const Args& args) {
   }
   for (size_t i = 0; i < slots; ++i) parts[i].InsertBatch(buffers[i]);
 
-  // Fold the published (nonempty) slots, in (worker, shard) key order,
-  // through the reducer's engine and policy.
-  std::vector<std::shared_ptr<const AnySummary>> snaps;
-  std::vector<uint64_t> seqs;
-  for (size_t i = 0; i < slots; ++i) {
-    if (tuples_per_slot[i] == 0) continue;
-    snaps.push_back(
-        std::make_shared<const AnySummary>(std::move(parts[i])));
-    seqs.push_back(seqs.size() + 1);
-  }
-  MergeCache<AnySummary> cache([&args] {
+  auto factory = [&args] {
     return MakeSummary(args.kind, OptionsFor(args), args.summary_seed)
         .value();
-  });
-  auto merged = cache.Merge(snaps, seqs);
-  if (!merged.ok()) {
-    std::fprintf(stderr, "oracle: merging %zu slots: %s\n", snaps.size(),
-                 merged.status().ToString().c_str());
-    return 1;
+  };
+  std::vector<std::shared_ptr<const AnySummary>> part_ptrs;
+  part_ptrs.reserve(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    part_ptrs.push_back(
+        std::make_shared<const AnySummary>(std::move(parts[i])));
+  }
+
+  std::shared_ptr<const AnySummary> merged_root;
+  if (args.topology.empty()) {
+    // Fold the published (nonempty) slots, in (worker, shard) key order,
+    // through the reducer's engine and policy.
+    std::vector<std::shared_ptr<const AnySummary>> snaps;
+    std::vector<uint64_t> seqs;
+    for (size_t i = 0; i < slots; ++i) {
+      if (tuples_per_slot[i] == 0) continue;
+      snaps.push_back(part_ptrs[i]);
+      seqs.push_back(seqs.size() + 1);
+    }
+    MergeCache<AnySummary> cache(factory);
+    auto merged = cache.Merge(snaps, seqs);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "oracle: merging %zu slots: %s\n", snaps.size(),
+                   merged.status().ToString().c_str());
+      return 1;
+    }
+    merged_root = merged.value();
+  } else {
+    // Tier-grouped fold: replay the reducer tree node by node. Each relay
+    // folds its children's slots, in (worker, shard) key order, through a
+    // fresh MergeCache under the same default policy, and hands its root
+    // upstream *through serialization* — exactly the wire path — so the
+    // final ladder is the bit-for-bit target for a query at the tree root.
+    auto parsed = service::TopologyConfig::Parse(args.topology);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "oracle: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    const service::TopologyConfig topo = std::move(parsed).value();
+    const std::vector<uint32_t> leaves = topo.Leaves();
+    bool leaves_ok = leaves.size() == args.workers;
+    for (size_t i = 0; leaves_ok && i < leaves.size(); ++i) {
+      leaves_ok = leaves[i] == i;
+    }
+    if (!leaves_ok) {
+      std::fprintf(stderr,
+                   "oracle: topology leaves must be exactly workers "
+                   "0..%u\n", args.workers - 1);
+      return 1;
+    }
+    // Returns null for a subtree that ingested nothing: a relay with an
+    // empty table never publishes, so its parent has no slot for it.
+    std::function<Result<std::shared_ptr<const AnySummary>>(uint32_t)>
+        fold_node = [&](uint32_t node)
+        -> Result<std::shared_ptr<const AnySummary>> {
+      std::vector<std::shared_ptr<const AnySummary>> snaps;
+      std::vector<uint64_t> seqs;
+      for (uint32_t child : topo.ChildrenOf(node)) {
+        if (topo.IsLeaf(child)) {
+          for (uint32_t s = 0; s < args.driver_shards; ++s) {
+            const size_t slot = size_t{child} * args.driver_shards + s;
+            if (tuples_per_slot[slot] == 0) continue;
+            snaps.push_back(part_ptrs[slot]);
+            seqs.push_back(seqs.size() + 1);
+          }
+        } else {
+          CASTREAM_ASSIGN_OR_RETURN(std::shared_ptr<const AnySummary> sub,
+                                    fold_node(child));
+          if (sub == nullptr) continue;
+          std::string blob;
+          CASTREAM_RETURN_NOT_OK(sub->Serialize(&blob));
+          CASTREAM_ASSIGN_OR_RETURN(
+              AnySummary reloaded,
+              AnySummary::Deserialize(io::BytesOf(blob)));
+          snaps.push_back(
+              std::make_shared<const AnySummary>(std::move(reloaded)));
+          seqs.push_back(seqs.size() + 1);
+        }
+      }
+      if (snaps.empty()) return std::shared_ptr<const AnySummary>();
+      MergeCache<AnySummary> cache(factory);
+      return cache.Merge(snaps, seqs);
+    };
+    auto folded = fold_node(topo.root());
+    if (!folded.ok()) {
+      std::fprintf(stderr, "oracle: topology fold: %s\n",
+                   folded.status().ToString().c_str());
+      return 1;
+    }
+    merged_root = folded.value();
+    if (merged_root == nullptr) {
+      // Nothing ever published anywhere: the root answers as a fresh
+      // summary (the defined zero-stream state).
+      merged_root = std::make_shared<const AnySummary>(factory());
+    }
   }
   for (uint64_t c : CutoffLadder(args.y_max)) {
-    PrintLadderLine(c, merged.value()->Query(c));
+    PrintLadderLine(c, merged_root->Query(c));
   }
   return 0;
 }
@@ -428,6 +635,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (args.mode == "reduce") return RunReduce(args);
+  if (args.mode == "relay") return RunRelay(args);
   if (args.mode == "worker") return RunWorker(args);
   if (args.mode == "query") return RunQuery(args);
   if (args.mode == "oracle") return RunOracle(args);

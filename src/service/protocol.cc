@@ -4,6 +4,7 @@
 
 #include "src/io/decoder.h"
 #include "src/io/encoder.h"
+#include "src/io/format.h"
 
 namespace castream::service {
 
@@ -131,6 +132,72 @@ Status DecodeAnswer(std::span<const std::byte> payload,
   if (!dec.Done()) {
     return Status::InvalidArgument("answer payload: trailing garbage");
   }
+  return Status::OK();
+}
+
+void EncodeEpochAnnex(const std::vector<EpochEntry>& entries,
+                      std::string* out) {
+  io::Encoder enc(out);
+  enc.PutU32(kEpochAnnexMagic);
+  enc.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const EpochEntry& e : entries) {
+    enc.PutU32(e.worker);
+    enc.PutU32(e.shard);
+    enc.PutU64(e.epoch);
+  }
+}
+
+Status DecodeEpochAnnex(std::span<const std::byte> payload,
+                        std::vector<EpochEntry>* entries) {
+  io::Decoder dec(payload);
+  uint32_t magic = 0;
+  CASTREAM_RETURN_NOT_OK(dec.ReadU32(&magic));
+  if (magic != kEpochAnnexMagic) {
+    return Status::InvalidArgument("epoch annex: bad magic");
+  }
+  uint32_t n = 0;
+  CASTREAM_RETURN_NOT_OK(dec.ReadCount(&n, 16));
+  entries->clear();
+  entries->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    EpochEntry e;
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&e.worker));
+    CASTREAM_RETURN_NOT_OK(dec.ReadU32(&e.shard));
+    CASTREAM_RETURN_NOT_OK(dec.ReadU64(&e.epoch));
+    entries->push_back(e);
+  }
+  if (!dec.Done()) {
+    return Status::InvalidArgument("epoch annex: trailing garbage");
+  }
+  return Status::OK();
+}
+
+Status SplitPublishPayload(std::span<const std::byte> payload,
+                           std::span<const std::byte>* blob,
+                           std::span<const std::byte>* annex) {
+  // The CAST envelope is { u32 magic, u32 kind, u32 version, u64 length }:
+  // 20 bytes, with `length` framing the body that follows. Everything past
+  // the body is the annex. Only the boundary is computed here — kind,
+  // version, and body integrity stay the Deserialize call's job.
+  io::Decoder dec(payload);
+  uint32_t magic = 0, kind = 0, version = 0;
+  uint64_t length = 0;
+  CASTREAM_RETURN_NOT_OK(dec.ReadU32(&magic));
+  if (magic != io::kMagic) {
+    return Status::InvalidArgument(
+        "publish payload: does not start with a CAST summary blob");
+  }
+  CASTREAM_RETURN_NOT_OK(dec.ReadU32(&kind));
+  CASTREAM_RETURN_NOT_OK(dec.ReadU32(&version));
+  CASTREAM_RETURN_NOT_OK(dec.ReadU64(&length));
+  const size_t header_bytes = payload.size() - dec.remaining();
+  if (length > dec.remaining()) {
+    return Status::InvalidArgument(
+        "publish payload: blob length field exceeds the payload");
+  }
+  const size_t blob_bytes = header_bytes + static_cast<size_t>(length);
+  *blob = payload.first(blob_bytes);
+  *annex = payload.subspan(blob_bytes);
   return Status::OK();
 }
 

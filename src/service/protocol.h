@@ -63,6 +63,42 @@ void EncodeAnswer(const ServedAnswer& answer, std::string* out);
 [[nodiscard]] Status DecodeAnswer(std::span<const std::byte> payload,
                                   ServedAnswer* answer);
 
+// ---------------------------------------------------------------------------
+// Relay-tier payload extensions (src/service/relay.h). The CASF frame layer
+// is untouched — a relay's upstream publish is an ordinary kPublish frame —
+// but its *payload* may carry an epoch-vector annex appended after the
+// summary blob:
+//
+//   [ CAST summary blob, exactly as SerializeShard writes it ]
+//   [ optional annex: u32 magic 'CASV', u32 count,
+//                     count * { u32 worker, u32 shard, u64 epoch } ]
+//
+// The annex names the downstream publications the blob was merged from,
+// which is what lets a root query still report per-worker staleness through
+// an arbitrary-depth tree: the reducer stores the annex with the slot and
+// substitutes it for the slot's own (worker, shard, epoch) entry when
+// answering (epoch-vector concatenation). Plain workers send no annex and
+// behave exactly as before.
+
+inline constexpr uint32_t kEpochAnnexMagic = 0x56534143u;  // "CASV" LE
+
+// Appends the annex to `out` (after the blob already encoded there).
+void EncodeEpochAnnex(const std::vector<EpochEntry>& entries,
+                      std::string* out);
+// Strict whole-span decode: magic, count (allocation-capped by the bytes
+// actually present), entries, no trailing garbage.
+[[nodiscard]] Status DecodeEpochAnnex(std::span<const std::byte> payload,
+                                      std::vector<EpochEntry>* entries);
+
+/// \brief Splits a kPublish payload into the summary blob and the optional
+/// trailing annex (empty span when absent), using the CAST envelope's own
+/// length field as the boundary. Rejects payloads too short for an
+/// envelope, wrong blob magic, and length fields past the payload's end —
+/// before any allocation sized by them happens.
+[[nodiscard]] Status SplitPublishPayload(std::span<const std::byte> payload,
+                                         std::span<const std::byte>* blob,
+                                         std::span<const std::byte>* annex);
+
 }  // namespace castream::service
 
 #endif  // CASTREAM_SERVICE_PROTOCOL_H_

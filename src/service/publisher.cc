@@ -19,8 +19,20 @@ uint64_t WallClockNanos() {
 
 }  // namespace
 
+std::chrono::milliseconds JitteredBackoff(std::chrono::milliseconds base,
+                                          double jitter, Xoshiro256& rng) {
+  const double j = std::clamp(jitter, 0.0, 1.0);
+  const double factor = 1.0 - j * rng.NextDouble();  // uniform (1-j, 1]
+  return std::chrono::milliseconds(static_cast<int64_t>(
+      static_cast<double>(base.count()) * factor));
+}
+
 ShardPublisher::ShardPublisher(const PublisherOptions& options)
-    : options_(options), session_(WallClockNanos()) {}
+    : options_(options),
+      session_(WallClockNanos()),
+      backoff_rng_(options.backoff_jitter_seed != 0
+                       ? options.backoff_jitter_seed
+                       : session_) {}
 
 void ShardPublisher::Disconnect() {
   socket_.Close();
@@ -38,7 +50,8 @@ Status ShardPublisher::EnsureConnected() {
   Status last = Status::Unavailable("never attempted");
   for (int attempt = 0; attempt < options_.connect_attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(backoff);
+      std::this_thread::sleep_for(
+          JitteredBackoff(backoff, options_.backoff_jitter, backoff_rng_));
       backoff = std::min(backoff * 2, options_.max_backoff);
     }
     auto connected = net::TcpConnect(options_.host, options_.port);

@@ -170,10 +170,25 @@ void SnapshotReducer::HandlePublish(const net::FrameHeader& header,
     reject("epoch 0 is the never-published sentinel and cannot be shipped");
     return;
   }
-  // The payload is a verbatim SerializeShard blob: the checked Decoder
-  // behind Deserialize rejects truncated, bit-flipped, and count-inflated
-  // bytes before any allocation sized by them happens.
-  auto decoded = AnySummary::Deserialize(io::BytesOf(payload));
+  // The payload is a SerializeShard blob, optionally followed by a relay's
+  // epoch-vector annex; the CAST envelope's own length field marks the
+  // boundary. The checked Decoder behind Deserialize rejects truncated,
+  // bit-flipped, and count-inflated bytes before any allocation sized by
+  // them happens — and the annex decoder applies the same discipline.
+  std::span<const std::byte> blob, annex;
+  if (Status st = SplitPublishPayload(io::BytesOf(payload), &blob, &annex);
+      !st.ok()) {
+    reject(st.ToString().c_str());
+    return;
+  }
+  std::vector<EpochEntry> downstream;
+  if (!annex.empty()) {
+    if (Status st = DecodeEpochAnnex(annex, &downstream); !st.ok()) {
+      reject(st.ToString().c_str());
+      return;
+    }
+  }
+  auto decoded = AnySummary::Deserialize(blob);
   if (!decoded.ok()) {
     reject(decoded.status().ToString().c_str());
     return;
@@ -210,8 +225,10 @@ void SnapshotReducer::HandlePublish(const net::FrameHeader& header,
   slot.session = header.session;
   slot.epoch = header.epoch;
   slot.pub_seq = next_pub_seq_++;
+  slot.payload_bytes = payload.size();
   slot.summary =
       std::make_shared<const AnySummary>(std::move(decoded).value());
+  slot.downstream = std::move(downstream);
   accepted_.fetch_add(1, std::memory_order_relaxed);
   *ack_code = net::AckCode::kAccepted;
   *stored_epoch = slot.epoch;
@@ -223,30 +240,49 @@ void SnapshotReducer::HandlePublish(const net::FrameHeader& header,
   }
 }
 
-ServedAnswer SnapshotReducer::Answer(uint64_t cutoff) {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+Result<MergedTable> SnapshotReducer::MergedRoot() {
   std::vector<std::shared_ptr<const AnySummary>> snaps;
   std::vector<uint64_t> seqs;
-  ServedAnswer answer;
+  MergedTable table;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     snaps.reserve(slots_.size());
     seqs.reserve(slots_.size());
-    answer.epochs.reserve(slots_.size());
+    table.epochs.reserve(slots_.size());
     for (const auto& [key, slot] : slots_) {
       snaps.push_back(slot.summary);
       seqs.push_back(slot.pub_seq);
-      answer.epochs.push_back(EpochEntry{key.first, key.second, slot.epoch});
+      if (slot.downstream.empty()) {
+        table.epochs.push_back(
+            EpochEntry{key.first, key.second, slot.epoch});
+      } else {
+        // Epoch-vector concatenation: a relay slot reports the downstream
+        // publications its blob was merged from, not itself — so the root
+        // of a tree still answers with per-leaf-worker staleness.
+        table.epochs.insert(table.epochs.end(), slot.downstream.begin(),
+                            slot.downstream.end());
+      }
     }
+    table.version = accepted_.load(std::memory_order_relaxed);
+    table.slot_count = slots_.size();
   }
   // Merge outside the table lock: publishes keep landing while a (possibly
   // expensive) suffix rebuild runs; they'll be picked up by the next query.
-  auto merged = merge_cache_.Merge(snaps, seqs, options_.merge_policy);
+  CASTREAM_ASSIGN_OR_RETURN(
+      table.root, merge_cache_.Merge(snaps, seqs, options_.merge_policy));
+  return table;
+}
+
+ServedAnswer SnapshotReducer::Answer(uint64_t cutoff) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  ServedAnswer answer;
+  auto merged = MergedRoot();
   if (!merged.ok()) {
     answer.status = merged.status();
     return answer;
   }
-  auto q = merged.value()->Query(cutoff);
+  answer.epochs = std::move(merged.value().epochs);
+  auto q = merged.value().root->Query(cutoff);
   if (!q.ok()) {
     answer.status = q.status();
     return answer;
@@ -254,6 +290,32 @@ ServedAnswer SnapshotReducer::Answer(uint64_t cutoff) {
   answer.status = Status::OK();
   answer.estimate = q.value();
   return answer;
+}
+
+ReducerStats SnapshotReducer::Stats() {
+  ReducerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    stats.slots.reserve(slots_.size());
+    for (const auto& [key, slot] : slots_) {
+      SlotStats s;
+      s.worker = key.first;
+      s.shard = key.second;
+      s.session = slot.session;
+      s.epoch = slot.epoch;
+      s.pub_seq = slot.pub_seq;
+      s.bytes = slot.payload_bytes;
+      s.downstream_entries = slot.downstream.size();
+      stats.slots.push_back(s);
+    }
+    stats.table_version = accepted_.load(std::memory_order_relaxed);
+  }
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.duplicate = duplicate_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace castream::service

@@ -13,7 +13,13 @@
 // Publishes are idempotent and restart-safe (see src/net/frame.h for the
 // session/epoch rules); hostile or truncated blobs are rejected by the
 // checked Decoder at the door and acked kRejected without touching the
-// table. Queries fold the table's slots, in their deterministic (worker,
+// table.
+//
+// Slots can be fed by plain workers or by relay nodes (src/service/relay.h):
+// a relay's publish payload carries an epoch-vector annex naming the
+// downstream publications its blob was merged from, and Answer() substitutes
+// those entries for the slot's own — so a root query over a tree of relays
+// still reports per-leaf-worker staleness (epoch-vector concatenation). Queries fold the table's slots, in their deterministic (worker,
 // shard) key order, through the same epoch-keyed MergeCache the in-process
 // driver uses — by default as a binary merge tree, so one worker
 // republishing one shard re-merges only that slot's O(log slots) root
@@ -42,6 +48,7 @@
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/common/status.h"
@@ -72,6 +79,42 @@ struct ReducerOptions {
   bool log = false;
 };
 
+/// \brief One slot of a reducer's snapshot table as reported by Stats():
+/// identity, idempotence state, and size — the numbers needed to see what a
+/// multi-tier topology is actually holding.
+struct SlotStats {
+  uint32_t worker = 0;
+  uint32_t shard = 0;
+  uint64_t session = 0;
+  uint64_t epoch = 0;
+  uint64_t pub_seq = 0;
+  uint64_t bytes = 0;  // accepted payload size (blob + annex)
+  /// Entries in the slot's epoch-vector annex; 0 for a plain worker slot.
+  uint64_t downstream_entries = 0;
+};
+
+/// \brief Counter + per-slot snapshot of a reducer's state, taken under the
+/// table lock (one consistent view). castream_served prints it on SIGUSR1.
+struct ReducerStats {
+  std::vector<SlotStats> slots;  // in (worker, shard) key order
+  uint64_t table_version = 0;
+  uint64_t accepted = 0;
+  uint64_t duplicate = 0;
+  uint64_t rejected = 0;
+  uint64_t bad_frames = 0;
+  uint64_t queries = 0;
+};
+
+/// \brief The merged snapshot table: the MergeCache root over every slot,
+/// the (concatenated) epoch vector it was computed from, and the table
+/// version it corresponds to — what a relay serializes and republishes.
+struct MergedTable {
+  std::shared_ptr<const AnySummary> root;
+  std::vector<EpochEntry> epochs;
+  uint64_t version = 0;
+  size_t slot_count = 0;
+};
+
 /// \brief Long-lived reducer: accepts publisher and client connections,
 /// one thread per connection, and serves merged snapshot queries.
 class SnapshotReducer {
@@ -99,6 +142,22 @@ class SnapshotReducer {
   /// state).
   ServedAnswer Answer(uint64_t cutoff);
 
+  /// \brief Merges the whole table through the MergeCache and returns the
+  /// root summary plus the concatenated epoch vector and the table version
+  /// it reflects. The relay's republish path: it serializes `root` and
+  /// ships `epochs` as the annex. An empty table yields the fresh summary
+  /// with no epochs (slot_count == 0) — callers that must not publish
+  /// emptiness skip on that.
+  Result<MergedTable> MergedRoot();
+
+  /// \brief Consistent per-slot + counter snapshot (see ReducerStats).
+  ReducerStats Stats();
+
+  /// \brief Bumped on every accepted publish — i.e. exactly when the
+  /// merged answer can change. Change-detection hook for the relay's
+  /// publish-on-change loop.
+  uint64_t table_version() const { return accepted_.load(); }
+
   // Observability (tests assert on these; the demo logs them).
   uint64_t publishes_accepted() const { return accepted_.load(); }
   uint64_t publishes_duplicate() const { return duplicate_.load(); }
@@ -115,7 +174,12 @@ class SnapshotReducer {
     // the cache: a restarted worker (new session) restarts its epoch
     // counter, so equal epochs would not imply equal contents.
     uint64_t pub_seq = 0;
+    uint64_t payload_bytes = 0;  // accepted wire payload (blob + annex)
     std::shared_ptr<const AnySummary> summary;
+    // Epoch-vector annex shipped with the blob (relay publishes): the
+    // downstream publications the blob was merged from. Empty for plain
+    // workers; when present it replaces the slot's own entry in answers.
+    std::vector<EpochEntry> downstream;
   };
 
   struct Connection {
