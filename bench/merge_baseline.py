@@ -11,6 +11,12 @@ to items/second:
   current -- throughput of the implementation at the last capture;
              refreshed by every run of bench/run_baselines.sh and used as
              the reference by bench/bench_regression_gate.sh.
+
+plus a "counters" section mapping benchmark name to its user counters
+(numeric values a bench reports beyond items/second, e.g. the CHH
+shootout's serialized_bytes / precision / recall). Counters are recorded
+for the README tables and for auditing accuracy-space tradeoffs; the
+regression gate only floors items_per_second.
 """
 import json
 import sys
@@ -21,7 +27,17 @@ def main() -> None:
         sys.exit("usage: merge_baseline.py RUN_JSON [RUN_JSON...] OUT_JSON")
     run_paths, out_path = sys.argv[1:-1], sys.argv[-1]
 
+    # Keys Google Benchmark itself emits; anything else numeric on a
+    # benchmark entry is a user counter worth recording.
+    standard_keys = {
+        "name", "family_index", "per_family_instance_index", "run_name",
+        "run_type", "repetitions", "repetition_index", "threads",
+        "iterations", "real_time", "cpu_time", "time_unit",
+        "items_per_second", "bytes_per_second",
+    }
+
     current = {}
+    counters = {}
     run = {}
     for run_path in run_paths:
         with open(run_path) as f:
@@ -30,6 +46,15 @@ def main() -> None:
             ips = bench.get("items_per_second")
             if ips:
                 current[bench["name"]] = round(ips, 1)
+            user = {
+                key: round(value, 6)
+                for key, value in bench.items()
+                if key not in standard_keys
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            }
+            if user:
+                counters[bench["name"]] = user
 
     try:
         with open(out_path) as f:
@@ -45,6 +70,7 @@ def main() -> None:
     )
     baseline["machine"] = run.get("context", {})
     baseline["current"] = current
+    baseline["counters"] = counters
 
     with open(out_path, "w") as f:
         json.dump(baseline, f, indent=2, sort_keys=True)

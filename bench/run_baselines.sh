@@ -12,7 +12,9 @@
 # bench_snapshot_query (query serving rates, blocking vs snapshot) plus
 # bench_zipf_ingest (trace-shaped columnar/coalesced ingest) plus
 # bench_merge_scaling (tree vs linear re-merge cost under single-shard
-# churn; the extras are skipped with a note if the binary is missing) and
+# churn) plus bench_chh_shootout (the three correlated heavy-hitters kinds
+# on shared workloads: throughput, serialized bytes, precision/recall; the
+# extras are skipped with a note if the binary is missing) and
 # merges the
 # results into OUT_JSON via bench/merge_baseline.py, which refreshes the
 # "current" section and the machine context while preserving the frozen
@@ -36,7 +38,8 @@ cleanup() { rm -f "${RUNS[@]}"; }
 trap cleanup EXIT
 
 for bench in bench_update_throughput bench_sharded_ingest bench_serialize \
-             bench_snapshot_query bench_zipf_ingest bench_merge_scaling; do
+             bench_snapshot_query bench_zipf_ingest bench_merge_scaling \
+             bench_chh_shootout; do
   BIN="$BUILD_DIR/$bench"
   if [ ! -x "$BIN" ]; then
     echo "note: $BIN not built; skipping it in this capture" >&2

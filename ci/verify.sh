@@ -90,6 +90,29 @@ if [ -n "$MISSING_DEMOS" ]; then
   exit 1
 fi
 
+# Registry drift guard: the set of summary kinds the binaries actually
+# register (as printed by `castream_shardctl kinds`, which walks
+# SummaryRegistry) must match the committed golden fixtures one-for-one.
+# A kind added without a golden_<kind>_v*.bin has no serde regression
+# anchor; a fixture whose kind disappeared is dead weight hiding a removal.
+REGISTRY_KINDS=$("$BUILD_DIR"/castream_shardctl kinds | awk '{print $1}' | sort)
+GOLDEN_KINDS=$(ls tests/golden/golden_*_v*.bin \
+  | sed 's|.*/golden_||; s|_v[0-9]*\.bin$||' | sort -u)
+if [ "$REGISTRY_KINDS" != "$GOLDEN_KINDS" ]; then
+  echo "error: registry kinds and tests/golden fixtures disagree" >&2
+  diff <(echo "$REGISTRY_KINDS") <(echo "$GOLDEN_KINDS") >&2 || true
+  exit 1
+fi
+
+# And the multi-kind demo must keep deriving its loop from the registry
+# (`$BIN kinds`), never from a hardcoded list — a new kind must flow into
+# the cross-process drill the day it is registered.
+if ! grep -q '"\$BIN" kinds' ci/shardctl_demo.sh; then
+  echo "error: ci/shardctl_demo.sh no longer derives its kind list from" \
+       "'castream_shardctl kinds'; demos must enumerate the registry" >&2
+  exit 1
+fi
+
 cd "$BUILD_DIR"
 
 # --no-tests=error everywhere: a label that silently matches nothing (a
@@ -118,7 +141,8 @@ if [ "$BUILD_TYPE" = "Release" ] && [ -z "$SANITIZE" ]; then
   SMOKE_OUT=${BENCH_SMOKE_OUT:-bench_smoke.txt}
   : > "$SMOKE_OUT"
   for bench in bench_update_throughput bench_sharded_ingest bench_serialize \
-               bench_snapshot_query bench_zipf_ingest bench_merge_scaling; do
+               bench_snapshot_query bench_zipf_ingest bench_merge_scaling \
+               bench_chh_shootout; do
     if [ -x "./$bench" ]; then
       echo "== bench smoke ($bench) =="
       "./$bench" --benchmark_min_time=0.05 2>&1 | tee -a "$SMOKE_OUT"

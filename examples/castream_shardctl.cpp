@@ -28,8 +28,10 @@
 // identifier x — the same split ShardedDriver uses in-process — under
 // which all supported aggregates decompose exactly.
 //
-// ci/shardctl_demo.sh runs this end to end for all four kinds; the CI
-// cross-compiler job feeds gcc-written blobs to a clang-built reducer.
+// ci/shardctl_demo.sh runs this end to end for every registered kind (it
+// enumerates `castream_shardctl kinds`, so new summaries join the drill
+// automatically); the CI cross-compiler job feeds gcc-written blobs to a
+// clang-built reducer.
 #include <chrono>
 #include <cinttypes>
 #include <cmath>
@@ -364,7 +366,7 @@ int RunReduce(const Args& args) {
       return 1;
     }
   }
-  if (args.kind == "hh") {
+  if (args.kind == "hh" || args.kind == "chh_mg" || args.kind == "chh_fast") {
     const auto ha = oracle.value().QueryHeavyHitters(args.y_max, 0.05);
     const auto hb = merged.value().QueryHeavyHitters(args.y_max, 0.05);
     if (ha.ok() != hb.ok() ||

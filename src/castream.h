@@ -36,6 +36,7 @@
 #include "src/core/any_summary.h"
 #include "src/core/async_window.h"
 #include "src/core/bidirectional.h"
+#include "src/core/correlated_chh.h"
 #include "src/core/correlated_f0.h"
 #include "src/core/correlated_f0_fm.h"
 #include "src/core/correlated_fk.h"

@@ -22,21 +22,55 @@ CorrelatedF0Options ToF0Options(const SummaryOptions& o) {
   return opts;
 }
 
-AnySummary MakeF2(const SummaryOptions& o, uint64_t seed) {
+CorrelatedChhOptions ToChhOptions(const SummaryOptions& o) {
+  CorrelatedChhOptions opts;
+  opts.phi_eps = o.phi_eps;
+  opts.y_eps = o.chh_y_eps;
+  opts.x_capacity_override = o.chh_x_capacity;
+  opts.y_capacity_override = o.chh_y_capacity;
+  return opts;
+}
+
+Result<AnySummary> MakeF2(const SummaryOptions& o, uint64_t seed) {
   return AnySummary(MakeCorrelatedF2(ToFrameworkOptions(o), seed));
 }
 
-AnySummary MakeF0(const SummaryOptions& o, uint64_t seed) {
+Result<AnySummary> MakeF0(const SummaryOptions& o, uint64_t seed) {
   return AnySummary(CorrelatedF0Sketch(ToF0Options(o), seed));
 }
 
-AnySummary MakeRarity(const SummaryOptions& o, uint64_t seed) {
+Result<AnySummary> MakeRarity(const SummaryOptions& o, uint64_t seed) {
   return AnySummary(CorrelatedRaritySketch(ToF0Options(o), seed));
 }
 
-AnySummary MakeHeavyHitters(const SummaryOptions& o, uint64_t seed) {
+Result<AnySummary> MakeHeavyHitters(const SummaryOptions& o, uint64_t seed) {
+  // Same validation policy as the dedicated CHH kinds: degenerate budgets
+  // are a loud error here, never a silent clamp inside the factory.
+  if (o.max_candidates < 4 || o.max_candidates > (uint32_t{1} << 20)) {
+    return Status::InvalidArgument(
+        "hh options: max_candidates " + std::to_string(o.max_candidates) +
+        " out of range [4, 1048576]");
+  }
+  if (!(o.phi_eps > 0.0 && o.phi_eps <= 1.0)) {
+    return Status::InvalidArgument("hh options: phi_eps must be in (0, 1]");
+  }
   return AnySummary(CorrelatedF2HeavyHitters(ToFrameworkOptions(o), o.phi_eps,
                                              seed, o.max_candidates));
+}
+
+Result<AnySummary> MakeNestedMisraGries(const SummaryOptions& o,
+                                        uint64_t seed) {
+  (void)seed;  // deterministic counter summary: no hash families to seed
+  const CorrelatedChhOptions opts = ToChhOptions(o);
+  CASTREAM_RETURN_NOT_OK(opts.Validate());
+  return AnySummary(CorrelatedNestedMisraGries(opts));
+}
+
+Result<AnySummary> MakeFastChh(const SummaryOptions& o, uint64_t seed) {
+  (void)seed;
+  const CorrelatedChhOptions opts = ToChhOptions(o);
+  CASTREAM_RETURN_NOT_OK(opts.Validate());
+  return AnySummary(CorrelatedFastChh(opts));
 }
 
 template <typename T>
@@ -45,7 +79,7 @@ Result<AnySummary> DeserializeAs(std::span<const std::byte> bytes) {
   return AnySummary(std::move(summary));
 }
 
-constexpr std::array<SummaryRegistry::Entry, 4> kRegistry{{
+constexpr std::array<SummaryRegistry::Entry, 6> kRegistry{{
     {SummaryKind::kCorrelatedF2, "f2", &MakeF2,
      &DeserializeAs<CorrelatedF2Sketch>},
     {SummaryKind::kCorrelatedF0, "f0", &MakeF0,
@@ -54,6 +88,10 @@ constexpr std::array<SummaryRegistry::Entry, 4> kRegistry{{
      &DeserializeAs<CorrelatedRaritySketch>},
     {SummaryKind::kCorrelatedF2HeavyHitters, "hh", &MakeHeavyHitters,
      &DeserializeAs<CorrelatedF2HeavyHitters>},
+    {SummaryKind::kCorrelatedNestedMisraGries, "chh_mg", &MakeNestedMisraGries,
+     &DeserializeAs<CorrelatedNestedMisraGries>},
+    {SummaryKind::kCorrelatedFastChh, "chh_fast", &MakeFastChh,
+     &DeserializeAs<CorrelatedFastChh>},
 }};
 
 }  // namespace

@@ -1,4 +1,4 @@
-// The Unified Summary API: one type-erased facade over the four durable
+// The Unified Summary API: one type-erased facade over the durable
 // correlated summaries, so drivers, examples, and tools are written once
 // instead of per-type.
 //
@@ -30,6 +30,7 @@
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/core/correlated_chh.h"
 #include "src/core/correlated_f0.h"
 #include "src/core/correlated_fk.h"
 #include "src/core/correlated_heavy_hitters.h"
@@ -59,6 +60,8 @@ static_assert(SummaryProtocol<CorrelatedF2Sketch>);
 static_assert(SummaryProtocol<CorrelatedF0Sketch>);
 static_assert(SummaryProtocol<CorrelatedRaritySketch>);
 static_assert(SummaryProtocol<CorrelatedF2HeavyHitters>);
+static_assert(SummaryProtocol<CorrelatedNestedMisraGries>);
+static_assert(SummaryProtocol<CorrelatedFastChh>);
 
 /// \brief Union of the tunables of every registered summary kind, so one
 /// options struct configures MakeSummary for all of them. Fields irrelevant
@@ -74,10 +77,17 @@ struct SummaryOptions {
   double f_max_hint = 1e12;
   /// Item-identifier domain bound (sampling kinds: f0, rarity).
   uint64_t x_domain = (uint64_t{1} << 20) - 1;
-  /// Heavy-hitter share resolution (kind hh; see CorrelatedF2HeavyHitters).
+  /// Heavy-hitter share resolution (kinds hh, chh_mg, chh_fast; also sizes
+  /// the dedicated CHH kinds' primary tables at ceil(2 / phi_eps) entries).
   double phi_eps = 0.05;
-  /// Heavy-hitter candidate budget (kind hh).
+  /// Heavy-hitter candidate budget (kind hh); must be in [4, 2^20].
   uint32_t max_candidates = 64;
+  /// Per-entry y-stage share resolution (kinds chh_mg, chh_fast).
+  double chh_y_eps = 0.05;
+  /// Nonzero: exact primary / y-stage table capacities for the dedicated
+  /// CHH kinds, overriding the eps-derived sizes (see CorrelatedChhOptions).
+  uint32_t chh_x_capacity = 0;
+  uint32_t chh_y_capacity = 0;
 };
 
 /// \brief Move-only type-erased holder of any registered summary.
@@ -101,6 +111,12 @@ class AnySummary {
   explicit AnySummary(CorrelatedF2HeavyHitters s)
       : impl_(std::make_unique<Model<CorrelatedF2HeavyHitters>>(
             SummaryKind::kCorrelatedF2HeavyHitters, std::move(s))) {}
+  explicit AnySummary(CorrelatedNestedMisraGries s)
+      : impl_(std::make_unique<Model<CorrelatedNestedMisraGries>>(
+            SummaryKind::kCorrelatedNestedMisraGries, std::move(s))) {}
+  explicit AnySummary(CorrelatedFastChh s)
+      : impl_(std::make_unique<Model<CorrelatedFastChh>>(
+            SummaryKind::kCorrelatedFastChh, std::move(s))) {}
 
   AnySummary(AnySummary&&) = default;
   AnySummary& operator=(AnySummary&&) = default;
@@ -177,8 +193,8 @@ class AnySummary {
     return impl_->Query(c);
   }
 
-  /// \brief Heavy hitters of {(x, y) : y <= c}; NotSupported for kinds
-  /// other than hh.
+  /// \brief Heavy hitters of {(x, y) : y <= c}; NotSupported for the kinds
+  /// without per-item queries (f2, f0, rarity).
   [[nodiscard]] Result<std::vector<HeavyHitter>> QueryHeavyHitters(
       uint64_t c, double phi) const {
     if (!impl_) {
@@ -267,11 +283,18 @@ class AnySummary {
         uint64_t c, double phi) const override {
       if constexpr (std::same_as<T, CorrelatedF2HeavyHitters>) {
         return value_.Query(c, phi);
+      } else if constexpr (requires {
+                             {
+                               value_.QueryHeavyHitters(c, phi)
+                             } -> std::same_as<Result<std::vector<HeavyHitter>>>;
+                           }) {
+        return value_.QueryHeavyHitters(c, phi);
       } else {
         (void)c;
         (void)phi;
         return Status::NotSupported(
-            "heavy-hitter queries need a summary of kind 'hh'");
+            "heavy-hitter queries need a summary of kind 'hh', 'chh_mg', or "
+            "'chh_fast'");
       }
     }
     Status Serialize(std::string* out) const override {
@@ -297,7 +320,10 @@ class SummaryRegistry {
   struct Entry {
     SummaryKind kind;
     std::string_view name;
-    AnySummary (*make)(const SummaryOptions& options, uint64_t seed);
+    /// Builders validate their options before constructing anything:
+    /// under-range or degenerate configs are a loud InvalidArgument here,
+    /// never a silent clamp inside a constructor.
+    Result<AnySummary> (*make)(const SummaryOptions& options, uint64_t seed);
     Result<AnySummary> (*deserialize)(std::span<const std::byte> bytes);
   };
 

@@ -16,6 +16,7 @@
 #define CASTREAM_CORE_CORRELATED_HEAVY_HITTERS_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <span>
@@ -46,10 +47,16 @@ struct F2HeavyHitterPreHashed {
 /// sketches; all bundles of one factory share hash functions and merge.
 class F2HeavyHitterBundleFactory {
  public:
+  /// \brief `max_candidates` must be >= 4; validated loudly (with the full
+  /// [4, 2^20] range) by MakeSummary before anything is constructed, and
+  /// asserted here so a direct construction cannot silently get a clamped
+  /// budget that differs from what the caller asked for.
   F2HeavyHitterBundleFactory(AmsF2SketchFactory f2, CountSketchFactory cs,
                              uint32_t max_candidates)
       : f2_(std::move(f2)), cs_(std::move(cs)),
-        max_candidates_(std::max<uint32_t>(4, max_candidates)) {}
+        max_candidates_(max_candidates) {
+    assert(max_candidates >= 4);
+  }
 
   F2HeavyHitterBundle Create() const;
 
@@ -85,8 +92,9 @@ class F2HeavyHitterBundleFactory {
                               CountSketchFactory::DecodeFamily(dec));
     uint32_t max_candidates = 0;
     CASTREAM_RETURN_NOT_OK(dec.ReadU32(&max_candidates));
-    // The constructor clamps to >= 4; a smaller serialized value could not
-    // have come from a real factory and would decode to a different family.
+    // MakeSummary rejects budgets outside [4, 2^20] before a factory ever
+    // exists, so a serialized value outside that range could not have come
+    // from a real factory and would decode to a different family.
     if (max_candidates < 4 || max_candidates > (uint32_t{1} << 20)) {
       return Status::InvalidArgument(
           "decode: heavy-hitter candidate budget out of range");
@@ -235,11 +243,14 @@ inline Result<F2HeavyHitterBundle> F2HeavyHitterBundleFactory::DecodeSketch(
   return bundle;
 }
 
-/// \brief One reported heavy hitter.
+/// \brief One reported heavy hitter. The share field holds the quantity the
+/// reporting kind thresholds against phi: f^2 / F2(c) for the CountSketch
+/// construction ('hh'), the plain frequency share f / N for the dedicated
+/// counter-based CHH kinds ('chh_mg', 'chh_fast').
 struct HeavyHitter {
   uint64_t item = 0;
   double estimated_frequency = 0.0;
-  double estimated_f2_share = 0.0;  // f^2 / F2(c)
+  double estimated_f2_share = 0.0;
 };
 
 /// \brief Summary answering correlated F2-heavy-hitter queries: all x with

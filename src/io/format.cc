@@ -12,6 +12,10 @@ std::string_view SummaryKindName(SummaryKind kind) {
       return "rarity";
     case SummaryKind::kCorrelatedF2HeavyHitters:
       return "hh";
+    case SummaryKind::kCorrelatedNestedMisraGries:
+      return "chh_mg";
+    case SummaryKind::kCorrelatedFastChh:
+      return "chh_fast";
   }
   return "unknown";
 }
@@ -21,8 +25,11 @@ Result<SummaryKind> SummaryKindFromName(std::string_view name) {
   if (name == "f0") return SummaryKind::kCorrelatedF0;
   if (name == "rarity") return SummaryKind::kCorrelatedRarity;
   if (name == "hh") return SummaryKind::kCorrelatedF2HeavyHitters;
+  if (name == "chh_mg") return SummaryKind::kCorrelatedNestedMisraGries;
+  if (name == "chh_fast") return SummaryKind::kCorrelatedFastChh;
   return Status::InvalidArgument(
-      "unknown summary kind name (expected f2, f0, rarity, or hh): " +
+      "unknown summary kind name (expected f2, f0, rarity, hh, chh_mg, or "
+      "chh_fast): " +
       std::string(name));
 }
 
@@ -43,6 +50,8 @@ Result<SummaryKind> PeekKind(std::span<const std::byte> bytes) {
     case SummaryKind::kCorrelatedF0:
     case SummaryKind::kCorrelatedRarity:
     case SummaryKind::kCorrelatedF2HeavyHitters:
+    case SummaryKind::kCorrelatedNestedMisraGries:
+    case SummaryKind::kCorrelatedFastChh:
       return static_cast<SummaryKind>(kind);
   }
   return Status::InvalidArgument(

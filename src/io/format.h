@@ -37,9 +37,27 @@ enum class SummaryKind : uint32_t {
   kCorrelatedF0 = 2,
   kCorrelatedRarity = 3,
   kCorrelatedF2HeavyHitters = 4,
+  kCorrelatedNestedMisraGries = 5,
+  kCorrelatedFastChh = 6,
 };
 
-/// \brief Human-readable name ("f2", "f0", "rarity", "hh") or "unknown".
+// Pinned wire-tag table. Every committed blob (tests/golden/*.bin, files
+// written by castream_shardctl, frames published by the service) embeds
+// these numbers, so they may only ever be *extended* — renumbering an
+// existing tag would make old blobs decode as a different kind or fail.
+// Adding a kind means adding one assert line here; editing an existing line
+// means you are breaking the format and need a migration story.
+static_assert(static_cast<uint32_t>(SummaryKind::kCorrelatedF2) == 1);
+static_assert(static_cast<uint32_t>(SummaryKind::kCorrelatedF0) == 2);
+static_assert(static_cast<uint32_t>(SummaryKind::kCorrelatedRarity) == 3);
+static_assert(static_cast<uint32_t>(SummaryKind::kCorrelatedF2HeavyHitters) ==
+              4);
+static_assert(static_cast<uint32_t>(SummaryKind::kCorrelatedNestedMisraGries) ==
+              5);
+static_assert(static_cast<uint32_t>(SummaryKind::kCorrelatedFastChh) == 6);
+
+/// \brief Human-readable name ("f2", "f0", "rarity", "hh", "chh_mg",
+/// "chh_fast") or "unknown".
 std::string_view SummaryKindName(SummaryKind kind);
 
 /// \brief Parses a kind name as printed by SummaryKindName.
@@ -49,13 +67,14 @@ namespace io {
 
 inline constexpr uint32_t kMagic = 0x54534143u;  // "CAST" little-endian
 
-/// \brief Current format version per kind. All four formats were introduced
-/// together; bump the one you change (and add a golden fixture for the old
-/// version if backward reading is kept).
+/// \brief Current format version per kind. Bump the one you change (and add
+/// a golden fixture for the old version if backward reading is kept).
 inline constexpr uint32_t kCorrelatedF2Version = 1;
 inline constexpr uint32_t kCorrelatedF0Version = 1;
 inline constexpr uint32_t kCorrelatedRarityVersion = 1;
 inline constexpr uint32_t kCorrelatedF2HeavyHittersVersion = 1;
+inline constexpr uint32_t kCorrelatedNestedMisraGriesVersion = 1;
+inline constexpr uint32_t kCorrelatedFastChhVersion = 1;
 
 /// \brief Writes the envelope with a zero length placeholder; returns the
 /// offset to patch via EndEnvelope once the body is encoded.

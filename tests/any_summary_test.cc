@@ -43,10 +43,11 @@ SummaryOptions SmallOptions() {
   return opts;
 }
 
-const char* const kKindNames[] = {"f2", "f0", "rarity", "hh"};
+const char* const kKindNames[] = {"f2", "f0", "rarity", "hh", "chh_mg",
+                                  "chh_fast"};
 
 TEST(AnySummaryTest, RegistryCoversEveryKindByTagAndName) {
-  EXPECT_EQ(SummaryRegistry::Entries().size(), 4u);
+  EXPECT_EQ(SummaryRegistry::Entries().size(), 6u);
   for (const char* name : kKindNames) {
     const auto* by_name = SummaryRegistry::FindByName(name);
     ASSERT_NE(by_name, nullptr) << name;

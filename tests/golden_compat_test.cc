@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 
 #include "src/core/any_summary.h"
 #include "src/io/decoder.h"
+#include "src/io/format.h"
 #include "src/stream/types.h"
 #include "tests/test_util.h"
 
@@ -60,7 +62,7 @@ std::vector<Tuple> GoldenStream() {
   return stream;
 }
 
-AnySummary BuildGoldenSummary(const char* kind) {
+AnySummary BuildGoldenSummary(const std::string& kind) {
   auto made = MakeSummary(kind, GoldenOptions(), /*seed=*/kGoldenSeed);
   EXPECT_TRUE(made.ok());
   AnySummary summary = std::move(made).value();
@@ -68,7 +70,7 @@ AnySummary BuildGoldenSummary(const char* kind) {
   return summary;
 }
 
-std::string FixturePath(const char* kind) {
+std::string FixturePath(const std::string& kind) {
   return std::string(CASTREAM_GOLDEN_DIR) + "/golden_" + kind + "_v1.bin";
 }
 
@@ -77,11 +79,31 @@ bool RegenRequested() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
-const char* const kKindNames[] = {"f2", "f0", "rarity", "hh"};
+// Kinds come from the registry, so adding a summary kind automatically
+// demands a fixture for it (the missing-file ASSERT below names the regen
+// command). The wire-tag regression test further down pins each kind's
+// numeric tag independently of this list's order.
+std::vector<std::string> RegistryKindNames() {
+  std::vector<std::string> names;
+  for (const auto& entry : SummaryRegistry::Entries()) {
+    names.emplace_back(entry.name);
+  }
+  return names;
+}
+
+std::string ReadFixture(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good())
+      << "missing golden fixture " << path
+      << " — regenerate with CASTREAM_REGEN_GOLDEN=1 and commit it";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
 
 TEST(GoldenCompatTest, CheckedInBlobsStillDecodeAndAnswer) {
   if (RegenRequested()) {
-    for (const char* kind : kKindNames) {
+    for (const std::string& kind : RegistryKindNames()) {
       AnySummary summary = BuildGoldenSummary(kind);
       std::string blob;
       ASSERT_TRUE(summary.Serialize(&blob).ok()) << kind;
@@ -95,14 +117,9 @@ TEST(GoldenCompatTest, CheckedInBlobsStillDecodeAndAnswer) {
     GTEST_SKIP() << "fixtures regenerated, not checked";
   }
 
-  for (const char* kind : kKindNames) {
-    std::ifstream in(FixturePath(kind), std::ios::binary);
-    ASSERT_TRUE(in.good())
-        << "missing golden fixture " << FixturePath(kind)
-        << " — regenerate with CASTREAM_REGEN_GOLDEN=1 and commit it";
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const std::string golden = buf.str();
+  for (const std::string& kind : RegistryKindNames()) {
+    const std::string golden = ReadFixture(FixturePath(kind));
+    if (golden.empty()) continue;  // ReadFixture already failed the test
 
     auto decoded = AnySummary::Deserialize(io::BytesOf(golden));
     ASSERT_TRUE(decoded.ok())
@@ -132,6 +149,52 @@ TEST(GoldenCompatTest, CheckedInBlobsStillDecodeAndAnswer) {
         << kind
         << ": serialization output changed for identical input; bump the "
            "format version and regenerate the fixtures";
+  }
+}
+
+// ISSUE 10 satellite: the SummaryKind wire tags are pinned for all time.
+// This table is deliberately hardcoded — it must NOT be derived from the
+// enum, the registry, or anything else that a renumbering would also move.
+// Each committed fixture's header must carry exactly the tag its filename
+// promises, read straight out of bytes [4, 8) of the blob.
+struct PinnedTag {
+  const char* name;
+  uint32_t tag;
+};
+constexpr PinnedTag kPinnedWireTags[] = {
+    {"f2", 1}, {"f0", 2},     {"rarity", 3},
+    {"hh", 4}, {"chh_mg", 5}, {"chh_fast", 6},
+};
+
+TEST(GoldenCompatTest, CommittedHeadersCarryPinnedWireTags) {
+  if (RegenRequested()) GTEST_SKIP() << "regen run; tags checked next run";
+  // The pinned table and the registry must cover the same kinds: a kind in
+  // the registry but absent here has no frozen tag, and a stale row here
+  // would keep a retired name alive.
+  EXPECT_EQ(std::size(kPinnedWireTags), SummaryRegistry::Entries().size());
+  for (const auto& pinned : kPinnedWireTags) {
+    const std::string golden = ReadFixture(FixturePath(pinned.name));
+    if (golden.empty()) continue;
+    ASSERT_GE(golden.size(), 20u) << pinned.name;
+
+    // Raw little-endian u32 at offset 4 — no decoder in the loop, so a
+    // renumbered enum cannot mask itself.
+    const auto* bytes = reinterpret_cast<const unsigned char*>(golden.data());
+    const uint32_t raw_tag = static_cast<uint32_t>(bytes[4]) |
+                             static_cast<uint32_t>(bytes[5]) << 8 |
+                             static_cast<uint32_t>(bytes[6]) << 16 |
+                             static_cast<uint32_t>(bytes[7]) << 24;
+    EXPECT_EQ(raw_tag, pinned.tag)
+        << pinned.name
+        << ": committed header carries a different tag than the pinned "
+           "wire-tag table in src/io/format.h — tags may never be renumbered";
+
+    // And the live enum agrees with the committed bytes.
+    auto peeked = io::PeekKind(io::BytesOf(golden));
+    ASSERT_TRUE(peeked.ok()) << pinned.name;
+    EXPECT_EQ(static_cast<uint32_t>(peeked.value()), pinned.tag)
+        << pinned.name;
+    EXPECT_EQ(SummaryKindName(peeked.value()), pinned.name);
   }
 }
 

@@ -13,11 +13,15 @@
 //   * loud failure — mismatched configurations or hash families return
 //     PreconditionFailed and self-merge returns InvalidArgument.
 #include <cstdint>
+#include <map>
+#include <span>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/common/math_util.h"
+#include "src/core/correlated_chh.h"
 #include "src/core/correlated_f0.h"
 #include "src/core/correlated_fk.h"
 #include "src/core/correlated_heavy_hitters.h"
@@ -337,6 +341,104 @@ TEST(MergeEquivalenceTest, HeavyHittersMergeRecoversOracleHitters) {
   }
 }
 
+// ---- Correlated heavy-hitters panel (chh_mg / chh_fast) -------------------
+
+// In the exact regime (tables never overflow) both counter summaries are
+// plain nested counting maps, so a round-robin shard merge must reproduce
+// the whole-stream summary byte for byte, not just answer-for-answer.
+template <typename Chh>
+void ChhMergeBitForBitWhenTablesNeverOverflow() {
+  CorrelatedChhOptions opts;
+  opts.x_capacity_override = 64;
+  opts.y_capacity_override = 32;
+  Xoshiro256 rng = TestRng(61);
+  std::vector<Tuple> stream;
+  for (int i = 0; i < 9000; ++i) {
+    stream.push_back(Tuple{rng.NextBounded(24), rng.NextBounded(12)});
+  }
+  Chh whole(opts);
+  whole.InsertBatch(std::span<const Tuple>(stream));
+  Chh merged(opts);
+  for (auto& part : RoundRobinSplit(stream, 3)) {
+    Chh shard(opts);
+    shard.InsertBatch(std::span<const Tuple>(part));
+    ASSERT_TRUE(merged.MergeFrom(shard).ok());
+  }
+  EXPECT_EQ(whole.TotalWeight(), merged.TotalWeight());
+  EXPECT_EQ(merged.PrimaryDecrements(), 0u);
+  std::string whole_blob;
+  std::string merged_blob;
+  ASSERT_TRUE(whole.Serialize(&whole_blob).ok());
+  ASSERT_TRUE(merged.Serialize(&merged_blob).ok());
+  EXPECT_EQ(whole_blob, merged_blob);
+}
+
+TEST(MergeEquivalenceTest, NestedMgMergeBitForBitWhenTablesNeverOverflow) {
+  ChhMergeBitForBitWhenTablesNeverOverflow<CorrelatedNestedMisraGries>();
+}
+
+TEST(MergeEquivalenceTest, FastChhMergeBitForBitWhenTablesNeverOverflow) {
+  ChhMergeBitForBitWhenTablesNeverOverflow<CorrelatedFastChh>();
+}
+
+// Under overflow the shard merge may differ from the single-stream summary
+// in which tail items it retains, but the deterministic guarantees survive:
+// Query stays a lower bound on the exact correlated count, the decrement
+// mass respects the Misra-Gries bound, and a clear heavy hitter is still
+// reported at a laxer phi (no false negatives within the error budget).
+template <typename Chh>
+void ChhMergeKeepsGuaranteesUnderOverflow() {
+  CorrelatedChhOptions opts;
+  opts.x_capacity_override = 16;
+  opts.y_capacity_override = 8;
+  constexpr uint64_t kHeavy = 9;
+  Xoshiro256 rng = TestRng(62);
+  std::vector<Tuple> stream;
+  std::map<uint64_t, std::map<uint64_t, uint64_t>> exact;
+  for (int i = 0; i < 12000; ++i) {
+    const uint64_t x =
+        (i % 3 == 0) ? kHeavy : 1000 + rng.NextBounded(100000);
+    const uint64_t y = rng.NextBounded(6);
+    stream.push_back(Tuple{x, y});
+    ++exact[x][y];
+  }
+  Chh merged(opts);
+  for (auto& part : RoundRobinSplit(stream, 4)) {
+    Chh shard(opts);
+    shard.InsertBatch(std::span<const Tuple>(part));
+    ASSERT_TRUE(merged.MergeFrom(shard).ok());
+  }
+  const uint64_t n = stream.size();
+  EXPECT_EQ(merged.TotalWeight(), n);
+  EXPECT_LE(merged.PrimaryDecrements(), n / (opts.XCapacity() + 1));
+  for (uint64_t c : {uint64_t{2}, uint64_t{5}, uint64_t{100}}) {
+    uint64_t exact_total = 0;
+    for (const auto& [x, by_y] : exact) {
+      for (const auto& [y, count] : by_y) {
+        if (y <= c) exact_total += count;
+      }
+    }
+    auto r = merged.Query(c);
+    ASSERT_TRUE(r.ok()) << "c=" << c;
+    EXPECT_LE(r.value(), static_cast<double>(exact_total)) << "c=" << c;
+  }
+  auto hitters = merged.QueryHeavyHitters(5, 0.15);
+  ASSERT_TRUE(hitters.ok());
+  bool found = false;
+  for (const HeavyHitter& h : hitters.value()) {
+    found = found || h.item == kHeavy;
+  }
+  EXPECT_TRUE(found) << "clear hitter lost in the shard merge";
+}
+
+TEST(MergeEquivalenceTest, NestedMgMergeKeepsGuaranteesUnderOverflow) {
+  ChhMergeKeepsGuaranteesUnderOverflow<CorrelatedNestedMisraGries>();
+}
+
+TEST(MergeEquivalenceTest, FastChhMergeKeepsGuaranteesUnderOverflow) {
+  ChhMergeKeepsGuaranteesUnderOverflow<CorrelatedFastChh>();
+}
+
 // ---- Loud failures --------------------------------------------------------
 
 TEST(MergeEquivalenceTest, MismatchedFamiliesAndConfigsFailLoudly) {
@@ -378,6 +480,21 @@ TEST(MergeEquivalenceTest, MismatchedFamiliesAndConfigsFailLoudly) {
   CorrelatedF2HeavyHitters h(opts, 0.05, 7);
   CorrelatedF2HeavyHitters i(opts, 0.05, 8);
   EXPECT_EQ(h.MergeFrom(i).code(), Status::Code::kPreconditionFailed);
+
+  // The counter-based CHH kinds key family identity on effective capacities.
+  CorrelatedChhOptions chh_a;
+  chh_a.x_capacity_override = 16;
+  chh_a.y_capacity_override = 8;
+  CorrelatedChhOptions chh_b = chh_a;
+  chh_b.x_capacity_override = 32;
+  CorrelatedNestedMisraGries j(chh_a);
+  CorrelatedNestedMisraGries k(chh_b);
+  EXPECT_EQ(j.MergeFrom(k).code(), Status::Code::kPreconditionFailed);
+  EXPECT_EQ(j.MergeFrom(j).code(), Status::Code::kInvalidArgument);
+  CorrelatedFastChh l(chh_a);
+  CorrelatedFastChh m(chh_b);
+  EXPECT_EQ(l.MergeFrom(m).code(), Status::Code::kPreconditionFailed);
+  EXPECT_EQ(l.MergeFrom(l).code(), Status::Code::kInvalidArgument);
 }
 
 }  // namespace

@@ -17,7 +17,7 @@
 //     (stale parents are never served), and null leaves contribute
 //     nothing (checked exactly via tuples_inserted).
 //   * Equivalence: across policies, answers are answer-equivalent, not
-//     bit-equal — for all four registry kinds, under randomized slot
+//     bit-equal — for the f2/f0/rarity/hh registry kinds, under randomized slot
 //     arrival orders, both policies' estimates land within the summaries'
 //     accuracy band of exact ground truth (TrialsWithin, the same
 //     (eps, delta) shape every guarantee in the paper has).
@@ -236,7 +236,7 @@ TEST(MergePolicyTest, DriverSingleShardChurnAtS64IsLogS) {
 }
 
 // ---------------------------------------------------------------------------
-// Answer equivalence across policies, all four registry kinds, randomized
+// Answer equivalence across policies, the f2/f0/rarity/hh registry kinds, randomized
 // slot arrival orders.
 
 struct KindCase {

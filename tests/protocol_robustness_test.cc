@@ -335,14 +335,16 @@ TEST(ProtocolRobustnessTest, EmptyAnnexRoundTrips) {
 
 // --- SplitPublishPayload: the boundary finder runs on a real blob --------
 
-std::string RealBlob() {
+std::string RealBlob(const char* kind = "f2") {
   SummaryOptions opts;
   opts.eps = 0.5;
   opts.delta = 0.25;
   opts.y_max = 1023;
   opts.f_max_hint = 1e3;
   opts.x_domain = 1023;
-  auto made = MakeSummary("f2", opts, /*seed=*/31);
+  opts.phi_eps = 0.25;
+  opts.max_candidates = 8;
+  auto made = MakeSummary(kind, opts, /*seed=*/31);
   EXPECT_TRUE(made.ok());
   AnySummary summary = std::move(made).value();
   Xoshiro256 rng = TestRng(5);
@@ -378,6 +380,44 @@ TEST(ProtocolRobustnessTest, SplitFindsTheBlobAnnexBoundary) {
     std::vector<EpochEntry> entries;
     ASSERT_TRUE(DecodeEpochAnnex(a, &entries).ok());
     EXPECT_EQ(entries.size(), DemoEpochs().size());
+  }
+}
+
+TEST(ProtocolRobustnessTest, ChhBlobsSplitAndSurviveHostileEnvelopes) {
+  // The publish path carries whatever kind a worker was launched with; the
+  // counter-based CHH blobs (nested tables, variable-length entries) must
+  // get the same boundary-finding and hostile-envelope treatment as f2.
+  for (const char* kind : {"chh_mg", "chh_fast"}) {
+    const std::string blob = RealBlob(kind);
+    {
+      std::string payload = blob;
+      EncodeEpochAnnex(DemoEpochs(), &payload);
+      std::span<const std::byte> b, a;
+      ASSERT_TRUE(SplitPublishPayload(io::BytesOf(payload), &b, &a).ok())
+          << kind;
+      EXPECT_EQ(b.size(), blob.size()) << kind;
+      EXPECT_TRUE(AnySummary::Deserialize(b).ok()) << kind;
+      std::vector<EpochEntry> entries;
+      ASSERT_TRUE(DecodeEpochAnnex(a, &entries).ok()) << kind;
+      EXPECT_EQ(entries.size(), DemoEpochs().size()) << kind;
+    }
+    for (size_t n = 0; n < blob.size(); ++n) {
+      const Status status = TrySplit(std::string(blob.data(), n));
+      ASSERT_FALSE(status.ok()) << kind << " truncated to " << n;
+      EXPECT_EQ(status.code(), Status::Code::kInvalidArgument)
+          << kind << " truncated to " << n;
+    }
+    for (size_t pos = 0; pos < 20; ++pos) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string tampered = blob;
+        tampered[pos] = static_cast<char>(tampered[pos] ^ (1 << bit));
+        const Status status = TrySplit(tampered);
+        if (status.ok()) continue;
+        EXPECT_TRUE(IsCleanRejection(status))
+            << kind << " flip bit " << bit << " of byte " << pos << ": "
+            << status.ToString();
+      }
+    }
   }
 }
 

@@ -13,6 +13,8 @@
 
 #include "src/core/any_summary.h"
 #include "src/io/decoder.h"
+#include "src/io/encoder.h"
+#include "src/io/format.h"
 #include "src/stream/types.h"
 #include "tests/test_util.h"
 
@@ -35,7 +37,7 @@ SummaryOptions SmallOptions() {
   return opts;
 }
 
-std::string BuildBlob(const char* kind) {
+std::string BuildBlob(const std::string& kind) {
   auto made = MakeSummary(kind, SmallOptions(), /*seed=*/31);
   EXPECT_TRUE(made.ok());
   AnySummary summary = std::move(made).value();
@@ -62,10 +64,18 @@ void ExpectSafeOutcome(const std::string& blob, const char* what) {
       << what << ": unexpected error " << result.status().ToString();
 }
 
-const char* const kKindNames[] = {"f2", "f0", "rarity", "hh"};
+// Every registered kind gets the full hostile treatment: a kind that ships
+// in the registry but dodges this suite would ship an unfuzzed decoder.
+std::vector<std::string> RegistryKindNames() {
+  std::vector<std::string> names;
+  for (const auto& entry : SummaryRegistry::Entries()) {
+    names.emplace_back(entry.name);
+  }
+  return names;
+}
 
 TEST(SerializeRobustnessTest, EveryTruncationIsRejectedCleanly) {
-  for (const char* kind : kKindNames) {
+  for (const std::string& kind : RegistryKindNames()) {
     const std::string blob = BuildBlob(kind);
     ASSERT_GT(blob.size(), 64u);
     std::vector<size_t> lengths;
@@ -84,7 +94,7 @@ TEST(SerializeRobustnessTest, EveryTruncationIsRejectedCleanly) {
 }
 
 TEST(SerializeRobustnessTest, TrailingGarbageIsRejected) {
-  for (const char* kind : kKindNames) {
+  for (const std::string& kind : RegistryKindNames()) {
     std::string blob = BuildBlob(kind);
     blob.push_back('\0');
     auto result = AnySummary::Deserialize(io::BytesOf(blob));
@@ -94,7 +104,7 @@ TEST(SerializeRobustnessTest, TrailingGarbageIsRejected) {
 }
 
 TEST(SerializeRobustnessTest, BitFlipsNeverCrashOrMisclassify) {
-  for (const char* kind : kKindNames) {
+  for (const std::string& kind : RegistryKindNames()) {
     const std::string blob = BuildBlob(kind);
     // Every bit of the header and early body, then strided samples across
     // the rest (sketch payloads are large and mostly counter cells; flipping
@@ -108,7 +118,7 @@ TEST(SerializeRobustnessTest, BitFlipsNeverCrashOrMisclassify) {
         std::string tampered = blob;
         tampered[pos] = static_cast<char>(tampered[pos] ^ (1 << bit));
         ExpectSafeOutcome(tampered,
-                          (std::string(kind) + " flip byte " +
+                          (kind + " flip byte " +
                            std::to_string(pos))
                               .c_str());
       }
@@ -117,7 +127,7 @@ TEST(SerializeRobustnessTest, BitFlipsNeverCrashOrMisclassify) {
 }
 
 TEST(SerializeRobustnessTest, WrongMagicAndVersionAreInvalidArgument) {
-  for (const char* kind : kKindNames) {
+  for (const std::string& kind : RegistryKindNames()) {
     std::string blob = BuildBlob(kind);
     {
       std::string bad = blob;
@@ -152,7 +162,7 @@ TEST(SerializeRobustnessTest, InflatedCountsCannotDriveAllocations) {
   // sits, a 0xFFFFFFFF claim must be rejected by the remaining-bytes cap,
   // not trusted by a reserve call. (Words that are not counts become
   // ordinary corruption, which must also be safe.)
-  for (const char* kind : kKindNames) {
+  for (const std::string& kind : RegistryKindNames()) {
     const std::string blob = BuildBlob(kind);
     const size_t body_start = 20;  // after magic/kind/version/length
     std::vector<size_t> offsets;
@@ -169,7 +179,7 @@ TEST(SerializeRobustnessTest, InflatedCountsCannotDriveAllocations) {
       tampered[off + 1] = '\xff';
       tampered[off + 2] = '\xff';
       tampered[off + 3] = '\xff';
-      ExpectSafeOutcome(tampered, (std::string(kind) + " saturate word at " +
+      ExpectSafeOutcome(tampered, (kind + " saturate word at " +
                                    std::to_string(off))
                                       .c_str());
     }
@@ -224,6 +234,130 @@ TEST(SerializeRobustnessTest, ReadCountZeroElementsAlwaysFits) {
   ASSERT_TRUE(decoder.ReadCount(&count, /*min_bytes_each=*/0).ok());
   EXPECT_EQ(count, 0u);
   EXPECT_TRUE(decoder.Done());
+}
+
+std::string ChhEnvelope(SummaryKind kind, const std::string& body) {
+  std::string out;
+  io::Encoder enc(&out);
+  const uint32_t version = kind == SummaryKind::kCorrelatedNestedMisraGries
+                               ? io::kCorrelatedNestedMisraGriesVersion
+                               : io::kCorrelatedFastChhVersion;
+  const size_t patch = io::BeginEnvelope(enc, kind, version);
+  enc.PutBytes(io::BytesOf(body));
+  io::EndEnvelope(enc, patch);
+  return out;
+}
+
+void ExpectInvalidArgument(const std::string& blob, const char* what) {
+  auto result = AnySummary::Deserialize(io::BytesOf(blob));
+  ASSERT_FALSE(result.ok()) << what;
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument) << what;
+}
+
+TEST(SerializeRobustnessTest, ChhSaturatedTableCountsAreRejected) {
+  // Hand-built chh_mg / chh_fast bodies whose count words lie: a saturated
+  // primary-entry count, a saturated nested-table count inside an otherwise
+  // valid entry, and a nested count that fits the remaining bytes but
+  // exceeds the declared capacity. All must fail the ReadCount remaining-
+  // bytes cap or the capacity check — never drive an allocation.
+  {
+    std::string body;
+    io::Encoder enc(&body);
+    enc.PutU32(8);            // k1
+    enc.PutU32(40);           // k2
+    enc.PutU64(1000);         // total weight
+    enc.PutU64(0);            // primary decrements
+    enc.PutU32(0xffffffffu);  // primary entry count: 2^32-1 claimed
+    for (int i = 0; i < 8; ++i) enc.PutU64(1);  // 64 bytes actually behind it
+    ExpectInvalidArgument(
+        ChhEnvelope(SummaryKind::kCorrelatedNestedMisraGries, body),
+        "chh_mg saturated primary count");
+  }
+  {
+    std::string body;
+    io::Encoder enc(&body);
+    enc.PutU32(8);
+    enc.PutU32(40);
+    enc.PutU64(1000);
+    enc.PutU64(0);
+    enc.PutU32(1);            // one primary entry...
+    enc.PutU64(7);            // x
+    enc.PutU64(5);            // count
+    enc.PutU64(0);            // nested loss
+    enc.PutU32(0xffffffffu);  // ...whose nested table claims 2^32-1 rows
+    enc.PutU64(1);
+    enc.PutU64(1);
+    ExpectInvalidArgument(
+        ChhEnvelope(SummaryKind::kCorrelatedNestedMisraGries, body),
+        "chh_mg saturated nested count");
+  }
+  {
+    // 41 nested rows with the bytes to back them, against k2 = 40: the
+    // remaining-bytes cap passes, so only the capacity check can save us.
+    std::string body;
+    io::Encoder enc(&body);
+    enc.PutU32(8);
+    enc.PutU32(40);
+    enc.PutU64(1000);
+    enc.PutU64(0);
+    enc.PutU32(1);
+    enc.PutU64(7);    // x
+    enc.PutU64(100);  // count
+    enc.PutU64(0);    // nested loss
+    enc.PutU32(41);
+    for (uint64_t y = 0; y < 41; ++y) {
+      enc.PutU64(y);
+      enc.PutU64(1);
+    }
+    ExpectInvalidArgument(
+        ChhEnvelope(SummaryKind::kCorrelatedNestedMisraGries, body),
+        "chh_mg nested count above capacity");
+  }
+  {
+    std::string body;
+    io::Encoder enc(&body);
+    enc.PutU32(8);            // k1
+    enc.PutU32(40);           // k2
+    enc.PutU64(1000);         // total weight
+    enc.PutU64(0);            // primary decrements
+    enc.PutU32(0xffffffffu);  // primary entry count: 2^32-1 claimed
+    for (int i = 0; i < 8; ++i) enc.PutU64(1);
+    ExpectInvalidArgument(ChhEnvelope(SummaryKind::kCorrelatedFastChh, body),
+                          "chh_fast saturated primary count");
+  }
+  {
+    std::string body;
+    io::Encoder enc(&body);
+    enc.PutU32(8);
+    enc.PutU32(40);
+    enc.PutU64(1000);
+    enc.PutU64(0);
+    enc.PutU32(1);
+    enc.PutU64(7);            // x
+    enc.PutU64(5);            // count
+    enc.PutU32(0xffffffffu);  // slot count: 2^32-1 claimed
+    enc.PutU64(1);
+    enc.PutU64(1);
+    enc.PutU64(0);
+    ExpectInvalidArgument(ChhEnvelope(SummaryKind::kCorrelatedFastChh, body),
+                          "chh_fast saturated slot count");
+  }
+  {
+    // A live fast-CHH entry always retains at least one Space-Saving slot;
+    // a zero-slot entry is corruption even though every count word fits.
+    std::string body;
+    io::Encoder enc(&body);
+    enc.PutU32(8);
+    enc.PutU32(40);
+    enc.PutU64(1000);
+    enc.PutU64(0);
+    enc.PutU32(1);
+    enc.PutU64(7);  // x
+    enc.PutU64(5);  // count
+    enc.PutU32(0);  // slot count: zero
+    ExpectInvalidArgument(ChhEnvelope(SummaryKind::kCorrelatedFastChh, body),
+                          "chh_fast zero-slot entry");
+  }
 }
 
 TEST(SerializeRobustnessTest, EmptyAndTinySpans) {

@@ -1,5 +1,5 @@
 // The wire-format contract (ISSUE 4 acceptance): Deserialize(Serialize(s))
-// answers every query bit-for-bit identically to s, for all four durable
+// answers every query bit-for-bit identically to s, for the f2/f0/rarity/hh durable
 // summary types, including the never-split / virtual-root state, post-merge
 // states, and empty summaries. A deserialized peer must also merge into a
 // live summary through the ordinary value-based family checks, and continued

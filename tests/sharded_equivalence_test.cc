@@ -11,10 +11,12 @@
 // answer-equivalence, pinned by tests/merge_policy_test.cc.)
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/core/correlated_chh.h"
 #include "src/core/correlated_f0.h"
 #include "src/core/correlated_fk.h"
 #include "src/core/correlated_heavy_hitters.h"
@@ -238,6 +240,59 @@ TEST(ShardedEquivalenceTest, HeavyHittersDriverMatchesMergeOracle) {
                 hb.value()[i].estimated_frequency);
     }
   }
+}
+
+// The two counter-based CHH kinds are fully deterministic, so the driver
+// under the linear policy must match the serial merge oracle bit for bit —
+// scalar queries, the ranked hitter lists, and the serialized bytes.
+template <typename Chh>
+void ChhDriverMatchesMergeOracle(uint64_t stream_seed) {
+  CorrelatedChhOptions opts;
+  opts.x_capacity_override = 16;
+  opts.y_capacity_override = 8;
+  auto make = [&] { return Chh(opts); };
+  const uint64_t y_max = 1023;
+  const auto stream = MakeStream(20000, 50000, y_max, stream_seed);
+
+  ShardedDriverOptions dopts;
+  dopts.shards = 4;
+  ShardedDriver<Chh> driver(dopts, make);
+  FeedDriver(driver, stream);
+  auto merged = LinearMergedSummary(driver);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(driver.tuples_processed(), stream.size());
+
+  const auto oracle = MergeOracle(driver, make, stream);
+  EXPECT_EQ(oracle.TotalWeight(), merged.value().TotalWeight());
+  EXPECT_EQ(oracle.PrimaryDecrements(), merged.value().PrimaryDecrements());
+  ExpectIdenticalScalarQueries(oracle, merged.value(), y_max);
+  for (uint64_t c : CutoffLadder(y_max, 102)) {
+    const auto ha = oracle.QueryHeavyHitters(c, 0.05);
+    const auto hb = merged.value().QueryHeavyHitters(c, 0.05);
+    ASSERT_EQ(ha.ok(), hb.ok()) << "c=" << c;
+    if (!ha.ok()) continue;
+    ASSERT_EQ(ha.value().size(), hb.value().size()) << "c=" << c;
+    for (size_t i = 0; i < ha.value().size(); ++i) {
+      ASSERT_EQ(ha.value()[i].item, hb.value()[i].item) << "c=" << c;
+      ASSERT_EQ(ha.value()[i].estimated_frequency,
+                hb.value()[i].estimated_frequency);
+      ASSERT_EQ(ha.value()[i].estimated_f2_share,
+                hb.value()[i].estimated_f2_share);
+    }
+  }
+  std::string oracle_blob;
+  std::string merged_blob;
+  ASSERT_TRUE(oracle.Serialize(&oracle_blob).ok());
+  ASSERT_TRUE(merged.value().Serialize(&merged_blob).ok());
+  EXPECT_EQ(oracle_blob, merged_blob);
+}
+
+TEST(ShardedEquivalenceTest, NestedMgDriverMatchesMergeOracle) {
+  ChhDriverMatchesMergeOracle<CorrelatedNestedMisraGries>(14);
+}
+
+TEST(ShardedEquivalenceTest, FastChhDriverMatchesMergeOracle) {
+  ChhDriverMatchesMergeOracle<CorrelatedFastChh>(15);
 }
 
 TEST(ShardedEquivalenceTest, RepeatedMergesAndContinuedIngest) {
